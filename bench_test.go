@@ -1,0 +1,471 @@
+package coherentleak
+
+// Benchmark harness: one benchmark per paper table/figure (regenerating a
+// reduced-size version of the artifact per iteration and reporting the
+// headline metric), plus micro-benchmarks of the substrates and ablation
+// benches for the design choices called out in DESIGN.md §5.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"coherentleak/internal/coherence"
+	"coherentleak/internal/covert"
+	"coherentleak/internal/experiments"
+	"coherentleak/internal/kernel"
+	"coherentleak/internal/machine"
+	"coherentleak/internal/sim"
+)
+
+// --- per-figure benchmarks -------------------------------------------
+
+// BenchmarkFig2LatencyCDF regenerates the §V latency-band CDFs.
+func BenchmarkFig2LatencyCDF(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig2LatencyCDF(cfg, 200, experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 4 {
+			b.Fatal("wrong series count")
+		}
+	}
+}
+
+// BenchmarkTableIScenarios verifies and times one short transmission per
+// Table I row.
+func BenchmarkTableIScenarios(b *testing.B) {
+	bits := experiments.PatternBits(1, 20)
+	for _, sc := range covert.Scenarios {
+		sc := sc
+		b.Run(sc.Name(), func(b *testing.B) {
+			acc := 0.0
+			for i := 0; i < b.N; i++ {
+				ch := covert.NewChannel(sc)
+				ch.WorldSeed = uint64(i) + 1
+				res, err := ch.Run(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.Accuracy
+			}
+			b.ReportMetric(acc*100, "accuracy%")
+		})
+	}
+}
+
+// BenchmarkFig7Reception regenerates the 100-bit reception trace for the
+// canonical scenario.
+func BenchmarkFig7Reception(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7Reception(cfg, covert.Scenarios[0], experiments.DefaultSeed+uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Accuracy < 0.97 {
+			b.Fatalf("reception accuracy %v", res.Accuracy)
+		}
+		rate = res.RawKbps
+	}
+	b.ReportMetric(rate, "Kbps")
+}
+
+// BenchmarkFig8RateSweep regenerates the accuracy-vs-rate curve for one
+// robust and one fragile scenario.
+func BenchmarkFig8RateSweep(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	for _, name := range []string{"LExclc-LSharedb", "RExclc-LSharedb"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			sc, err := covert.ScenarioByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			targets := []float64{300, 700, 1000}
+			var last []experiments.RatePoint
+			for i := 0; i < b.N; i++ {
+				last, err = experiments.Fig8RateSweep(cfg, sc, targets, 200, experiments.DefaultSeed+uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last[len(last)-1].Accuracy*100, "acc@1000%")
+		})
+	}
+}
+
+// BenchmarkFig9Noise regenerates the noise study's extreme point.
+func BenchmarkFig9Noise(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig9Noise(cfg, covert.Scenarios[0], []int{8}, 150, experiments.DefaultSeed+uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = pts[0].Accuracy
+	}
+	b.ReportMetric(acc*100, "accuracy%")
+}
+
+// BenchmarkFig10ECC regenerates one reliable packet transfer.
+func BenchmarkFig10ECC(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig10ECC(cfg, covert.Scenarios[0], []int{0}, 1, experiments.DefaultSeed+uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pts[0].Recovered {
+			b.Fatal("not recovered")
+		}
+		eff = pts[0].EffectiveKbps
+	}
+	b.ReportMetric(eff, "effKbps")
+}
+
+// BenchmarkFig11MultiBit regenerates the 2-bit-symbol demonstration.
+func BenchmarkFig11MultiBit(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11MultiBit(cfg, 60, experiments.DefaultSeed+uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Accuracy < 0.95 {
+			b.Fatalf("multibit accuracy %v", res.Accuracy)
+		}
+		rate = res.RawKbps
+	}
+	b.ReportMetric(rate, "Kbps")
+}
+
+// BenchmarkMitigations regenerates the defense ablation for the first
+// scenario x all defenses.
+func BenchmarkMitigations(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.MitigationAblation(cfg, 30, experiments.DefaultSeed+uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 36 {
+			b.Fatalf("cells = %d", len(pts))
+		}
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md §5) ------------------------------
+
+// BenchmarkAblationProtocol compares the channel across MESI, MESIF and
+// MOESI — the §VIII-E claim that the findings extend across protocols.
+func BenchmarkAblationProtocol(b *testing.B) {
+	bits := experiments.PatternBits(3, 40)
+	for _, p := range []coherence.Protocol{coherence.MESI, coherence.MESIF, coherence.MOESI} {
+		p := p
+		b.Run(p.String(), func(b *testing.B) {
+			acc := 0.0
+			for i := 0; i < b.N; i++ {
+				ch := covert.NewChannel(covert.Scenarios[0])
+				ch.Config.Protocol = p
+				ch.WorldSeed = uint64(i) + 7
+				res, err := ch.Run(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.Accuracy
+			}
+			b.ReportMetric(acc*100, "accuracy%")
+		})
+	}
+}
+
+// BenchmarkAblationInclusion compares inclusive vs non-inclusive LLCs —
+// §VIII-E: "changing the cache inclusion property alone may not be
+// sufficient to eliminate the timing channels".
+func BenchmarkAblationInclusion(b *testing.B) {
+	bits := experiments.PatternBits(5, 40)
+	for _, inclusive := range []bool{true, false} {
+		inclusive := inclusive
+		name := "inclusive"
+		if !inclusive {
+			name = "non-inclusive"
+		}
+		b.Run(name, func(b *testing.B) {
+			acc := 0.0
+			for i := 0; i < b.N; i++ {
+				ch := covert.NewChannel(covert.Scenarios[0])
+				ch.Config.InclusiveLLC = inclusive
+				ch.WorldSeed = uint64(i) + 11
+				res, err := ch.Run(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.Accuracy
+			}
+			b.ReportMetric(acc*100, "accuracy%")
+		})
+	}
+}
+
+// BenchmarkAblationCoherenceKind compares directory (core-valid bits) vs
+// snoop-bus coherence — §VIII-E's claim that the findings extend across
+// protocol classes.
+func BenchmarkAblationCoherenceKind(b *testing.B) {
+	bits := experiments.PatternBits(15, 40)
+	for _, snoop := range []bool{false, true} {
+		snoop := snoop
+		name := "directory"
+		if snoop {
+			name = "snoop-bus"
+		}
+		b.Run(name, func(b *testing.B) {
+			acc := 0.0
+			for i := 0; i < b.N; i++ {
+				ch := covert.NewChannel(covert.Scenarios[0])
+				ch.Config.SnoopBus = snoop
+				ch.WorldSeed = uint64(i) + 17
+				res, err := ch.Run(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.Accuracy
+			}
+			b.ReportMetric(acc*100, "accuracy%")
+		})
+	}
+}
+
+// BenchmarkAblationExclusiveLLC contrasts an E/S scenario (dies) with a
+// location scenario (survives) on a victim-cache LLC.
+func BenchmarkAblationExclusiveLLC(b *testing.B) {
+	bits := experiments.PatternBits(19, 40)
+	for _, name := range []string{"LExclc-LSharedb", "RSharedc-LSharedb"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			sc, err := covert.ScenarioByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc := 0.0
+			for i := 0; i < b.N; i++ {
+				ch := covert.NewChannel(sc)
+				ch.Config.InclusiveLLC = false
+				ch.Config.ExclusiveLLC = true
+				ch.WorldSeed = uint64(i) + 23
+				res, err := ch.Run(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.Accuracy
+			}
+			b.ReportMetric(acc*100, "accuracy%")
+		})
+	}
+}
+
+// BenchmarkAblationJitter sweeps the base measurement jitter and reports
+// channel accuracy — band separability vs noise width.
+func BenchmarkAblationJitter(b *testing.B) {
+	bits := experiments.PatternBits(9, 40)
+	for _, j := range []int64{2, 5, 10, 20} {
+		j := j
+		b.Run(jitterName(j), func(b *testing.B) {
+			acc := 0.0
+			for i := 0; i < b.N; i++ {
+				ch := covert.NewChannel(covert.Scenarios[0])
+				ch.Config.Latencies.Jitter = j
+				ch.WorldSeed = uint64(i) + 13
+				res, err := ch.Run(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.Accuracy
+			}
+			b.ReportMetric(acc*100, "accuracy%")
+		})
+	}
+}
+
+func jitterName(j int64) string {
+	return "jitter" + string(rune('0'+j/10)) + string(rune('0'+j%10))
+}
+
+// BenchmarkAblationProbeMethod compares clflush against §VI-B's
+// eviction-of-all-ways alternative (slower, no flush instruction needed).
+func BenchmarkAblationProbeMethod(b *testing.B) {
+	bits := experiments.PatternBits(27, 40)
+	for _, method := range []covert.ProbeMethod{covert.ProbeClflush, covert.ProbeEviction} {
+		method := method
+		b.Run(method.String(), func(b *testing.B) {
+			rate := 0.0
+			for i := 0; i < b.N; i++ {
+				ch := covert.NewChannel(covert.Scenarios[0])
+				p := covert.DefaultParams()
+				p.Probe = method
+				ch.Params = p
+				ch.WorldSeed = uint64(i) + 31
+				res, err := ch.Run(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Accuracy < 0.95 {
+					b.Fatalf("accuracy %v", res.Accuracy)
+				}
+				rate = res.RawKbps
+			}
+			b.ReportMetric(rate, "Kbps")
+		})
+	}
+}
+
+// BenchmarkExtensionParallelLanes measures the multi-lane bandwidth
+// extension.
+func BenchmarkExtensionParallelLanes(b *testing.B) {
+	bits := experiments.PatternBits(29, 120)
+	for _, lanes := range []int{1, 2, 4, 8} {
+		lanes := lanes
+		b.Run(laneName(lanes), func(b *testing.B) {
+			rate, acc := 0.0, 0.0
+			for i := 0; i < b.N; i++ {
+				ch := covert.NewParallelChannel(covert.Scenarios[0], lanes)
+				ch.WorldSeed = uint64(i) + 37
+				res, err := ch.Run(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate, acc = res.RawKbps, res.Accuracy
+			}
+			b.ReportMetric(rate, "Kbps")
+			b.ReportMetric(acc*100, "accuracy%")
+		})
+	}
+}
+
+func laneName(n int) string {
+	return "lanes" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// BenchmarkAblationPrefetcher measures the channel with the next-line
+// prefetcher enabled.
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	bits := experiments.PatternBits(35, 40)
+	for _, pf := range []bool{false, true} {
+		pf := pf
+		name := "off"
+		if pf {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			acc := 0.0
+			for i := 0; i < b.N; i++ {
+				ch := covert.NewChannel(covert.Scenarios[0])
+				ch.Config.NextLinePrefetch = pf
+				ch.WorldSeed = uint64(i) + 41
+				res, err := ch.Run(bits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.Accuracy
+			}
+			b.ReportMetric(acc*100, "accuracy%")
+		})
+	}
+}
+
+// --- substrate micro-benchmarks --------------------------------------
+
+// BenchmarkMachineLoadL1 measures the simulator's hot path: an L1 hit.
+func BenchmarkMachineLoadL1(b *testing.B) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	m := machine.New(w, machine.DefaultConfig())
+	done := false
+	w.Spawn("bench", func(t *sim.Thread) {
+		m.Load(t, 0, 0x1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Load(t, 0, 0x1000)
+		}
+		done = true
+	})
+	if err := w.RunUntil(func() bool { return done }); err != nil {
+		b.Fatal(err)
+	}
+	w.Drain()
+}
+
+// BenchmarkMachineFlushReload measures one spy probe period.
+func BenchmarkMachineFlushReload(b *testing.B) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	m := machine.New(w, machine.DefaultConfig())
+	done := false
+	w.Spawn("bench", func(t *sim.Thread) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Flush(t, 0, 0x1000)
+			m.Load(t, 1, 0x1000)
+			m.Load(t, 0, 0x1000)
+		}
+		done = true
+	})
+	if err := w.RunUntil(func() bool { return done }); err != nil {
+		b.Fatal(err)
+	}
+	w.Drain()
+}
+
+// BenchmarkKSMScan measures a deduplication pass over 64 process pages.
+func BenchmarkKSMScan(b *testing.B) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	k := kernel.New(machine.New(w, machine.DefaultConfig()), 0)
+	var pattern [kernel.PageSize]byte
+	for p := 0; p < 8; p++ {
+		proc := k.NewProcess("p")
+		va := proc.MustMmap(8)
+		for pg := uint64(0); pg < 8; pg++ {
+			pattern[0] = byte(pg) // 8 distinct contents, repeated per process
+			if err := proc.WriteBytes(va+pg*kernel.PageSize, pattern[:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := proc.Madvise(va, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.KSM.Scan()
+	}
+}
+
+// BenchmarkCalibrate measures full band calibration.
+func BenchmarkCalibrate(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := covert.Calibrate(cfg, uint64(i), 100, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPeakSearch regenerates the abstract's headline rates (700
+// Kbps binary / 1.1 Mbps multi-bit) on a reduced payload.
+func BenchmarkPeakSearch(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	var pk *experiments.PeakRates
+	var err error
+	for i := 0; i < b.N; i++ {
+		pk, err = experiments.FindPeakRates(cfg, 0.97, 100, experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pk.BinaryKbps, "binKbps")
+	b.ReportMetric(pk.MultiBitKbps, "mbKbps")
+}

@@ -1,0 +1,91 @@
+// Command cohsim inspects the simulated testbed: it prints the machine
+// configuration and the calibrated latency band for every (location,
+// coherence state) combination pair — the §V micro-benchmark.
+//
+// Usage:
+//
+//	cohsim [-sockets N] [-cores N] [-protocol MESI|MESIF|MOESI]
+//	       [-samples N] [-seed N] [-mitigate-etom] [-mitigate-equalize]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coherentleak/internal/coherence"
+	"coherentleak/internal/covert"
+	"coherentleak/internal/machine"
+	"coherentleak/internal/stats"
+)
+
+func main() {
+	var (
+		sockets  = flag.Int("sockets", 2, "processor sockets")
+		cores    = flag.Int("cores", 6, "cores per socket")
+		protocol = flag.String("protocol", "MESIF", "coherence protocol: MESI, MESIF or MOESI")
+		samples  = flag.Int("samples", 1000, "timed loads per combination pair")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		etom     = flag.Bool("mitigate-etom", false, "enable the E->M notification hardware fix")
+		equalize = flag.Bool("mitigate-equalize", false, "enable socket latency equalization")
+	)
+	flag.Parse()
+
+	cfg := machine.DefaultConfig()
+	cfg.Sockets = *sockets
+	cfg.CoresPerSocket = *cores
+	switch *protocol {
+	case "MESI":
+		cfg.Protocol = coherence.MESI
+	case "MESIF":
+		cfg.Protocol = coherence.MESIF
+	case "MOESI":
+		cfg.Protocol = coherence.MOESI
+	default:
+		fmt.Fprintf(os.Stderr, "cohsim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+	cfg.Mitigations.LLCNotifiedOfEToM = *etom
+	cfg.Mitigations.EqualizeSocketLatency = *equalize
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "cohsim:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("machine: %d socket(s) x %d cores, %s, %.2f GHz\n",
+		cfg.Sockets, cfg.CoresPerSocket, cfg.Protocol, cfg.ClockHz/1e9)
+	fmt.Printf("caches:  L1 %dKB/%dw  L2 %dKB/%dw  LLC %dMB/%dw (inclusive=%v)\n",
+		cfg.L1.SizeBytes/1024, cfg.L1.Ways,
+		cfg.L2.SizeBytes/1024, cfg.L2.Ways,
+		cfg.LLC.SizeBytes/(1024*1024), cfg.LLC.Ways, cfg.InclusiveLLC)
+	if *etom || *equalize {
+		fmt.Printf("defenses: etom=%v equalize=%v\n", *etom, *equalize)
+	}
+	fmt.Println()
+	fmt.Println("combination pair   mean    p5     p95    band")
+
+	placements := covert.AllPlacements
+	if cfg.Sockets < 2 {
+		placements = []covert.Placement{covert.LShared, covert.LExcl}
+	}
+	for i, pl := range placements {
+		xs, err := covert.MeasurePlacement(cfg, *seed+uint64(i)*7, pl, *samples, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cohsim:", err)
+			os.Exit(1)
+		}
+		printBand(pl.String(), xs)
+	}
+	xs, err := covert.MeasureDRAM(cfg, *seed+991, *samples, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cohsim:", err)
+		os.Exit(1)
+	}
+	printBand("DRAM", xs)
+}
+
+func printBand(name string, xs []float64) {
+	s := stats.Summarize(xs)
+	fmt.Printf("%-18s %6.1f %6.1f %6.1f  [%.0f..%.0f] cycles\n",
+		name, s.Mean, s.P5, s.P95, s.Min, s.Max)
+}

@@ -1,0 +1,244 @@
+// Command covertchan runs one covert-channel transmission end to end and
+// reports the spy's reception quality.
+//
+// Usage:
+//
+//	covertchan [-scenario RExclc-LSharedb] [-text "message" | -bits N]
+//	           [-rate KBPS] [-mode ksm|explicit] [-noise N] [-multibit]
+//	           [-defense none|monitor|ksm-guard|etom|equalize|full]
+//	           [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coherentleak/internal/capacity"
+	"coherentleak/internal/covert"
+	"coherentleak/internal/machine"
+	"coherentleak/internal/mitigate"
+	"coherentleak/internal/noise"
+	"coherentleak/internal/replay"
+	"coherentleak/internal/sim"
+	"coherentleak/internal/trace"
+)
+
+func main() {
+	var (
+		scenario  = flag.String("scenario", "LExclc-LSharedb", "Table I scenario name")
+		text      = flag.String("text", "coherence states leak", "message to transmit")
+		bitCount  = flag.Int("bits", 0, "transmit N pseudo-random bits instead of -text")
+		rate      = flag.Float64("rate", 0, "target raw bit rate in Kbps (0 = reliable default)")
+		mode      = flag.String("mode", "ksm", "shared page mode: ksm or explicit")
+		noiseN    = flag.Int("noise", 0, "co-located kernel-build threads")
+		multibit  = flag.Bool("multibit", false, "use the 2-bit-symbol channel (§VIII-D)")
+		lanes     = flag.Int("lanes", 1, "parallel cache-line lanes (extension; 1 = the paper's channel)")
+		probe     = flag.String("probe", "clflush", "spy probe: clflush or eviction (§VI-B)")
+		defense   = flag.String("defense", "none", "defense: none, monitor, ksm-guard, etom, equalize, full")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		verbose   = flag.Bool("v", false, "print the spy's reception trace")
+		traceFile = flag.String("tracefile", "", "write the machine's memory-operation trace (TSV)")
+		saveFile  = flag.String("save", "", "archive the transmission result as JSON (replay schema)")
+	)
+	flag.Parse()
+
+	cfg := machine.DefaultConfig()
+	switch *defense {
+	case "none", "monitor", "ksm-guard":
+	case "etom":
+		cfg = mitigate.HardwareFix(cfg)
+	case "equalize":
+		cfg = mitigate.TimingObfuscator(cfg)
+	case "full":
+		cfg = mitigate.FullHardwareDefense(cfg)
+	default:
+		fail(fmt.Errorf("unknown defense %q", *defense))
+	}
+
+	shareMode := covert.ShareKSM
+	if *mode == "explicit" {
+		shareMode = covert.ShareExplicit
+	} else if *mode != "ksm" {
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	var recorder *trace.Recorder
+	preRun := func(s *covert.Session) {
+		if *traceFile != "" {
+			recorder = trace.Attach(s.Mach, 65536, trace.NewFilter())
+		}
+		if *noiseN > 0 {
+			if _, err := noise.Attach(s.Kern, noise.DefaultConfig(*noiseN)); err != nil {
+				fail(err)
+			}
+			s.OSNoiseProb = noise.CoLocationPressure(s.Kern, *noiseN)
+		}
+		switch *defense {
+		case "monitor":
+			mitigate.AttachMonitor(s.Kern, mitigate.DefaultMonitorConfig(), mitigate.AttackLines(s))
+		case "ksm-guard":
+			mitigate.AttachKSMGuard(s.Kern, mitigate.DefaultKSMGuardConfig())
+		}
+	}
+
+	bits := covert.TextToBits(*text)
+	if *bitCount > 0 {
+		bits = patternBits(*seed^0xb175, *bitCount)
+	}
+
+	if *multibit {
+		runMultiBit(cfg, bits, shareMode, *seed, preRun, *verbose)
+		return
+	}
+
+	sc, err := covert.ScenarioByName(*scenario)
+	if err != nil {
+		fail(err)
+	}
+	params := covert.DefaultParams()
+	if *rate > 0 {
+		params = covert.ParamsForRate(cfg, sc, *rate)
+	}
+	switch *probe {
+	case "clflush":
+	case "eviction":
+		params.Probe = covert.ProbeEviction
+	default:
+		fail(fmt.Errorf("unknown probe %q", *probe))
+	}
+	if *lanes > 1 {
+		runParallel(cfg, sc, params, bits, shareMode, *seed, *lanes, preRun)
+		return
+	}
+	ch := &covert.Channel{
+		Config:      cfg,
+		Scenario:    sc,
+		Params:      params,
+		Mode:        shareMode,
+		WorldSeed:   *seed,
+		PatternSeed: *seed ^ 0xfeed,
+		PreRun:      preRun,
+	}
+	res, err := ch.Run(bits)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("scenario:      %s (%s sharing)\n", sc.Name(), shareMode)
+	fmt.Printf("params:        C1=%d C0=%d Cb=%d Ts=%d\n", params.C1, params.C0, params.Cb, params.Ts)
+	fmt.Printf("transmitted:   %d bits\n", len(res.TxBits))
+	fmt.Printf("received:      %d bits\n", len(res.RxBits))
+	fmt.Printf("raw accuracy:  %.2f%%\n", res.Accuracy*100)
+	fmt.Printf("raw bit rate:  %.1f Kbps (attempted %.1f)\n", res.RawKbps, res.AttemptedKbps)
+	fmt.Printf("sync:          %d cycles (%.2f us)\n", res.SyncCycles,
+		cfg.CyclesToSeconds(res.SyncCycles)*1e6)
+	rep := capacity.Analyze(res.TxBits, res.RxBits, res.RawKbps)
+	fmt.Printf("capacity:      %s\n", rep)
+	if *bitCount == 0 {
+		fmt.Printf("decoded text:  %q\n", covert.BitsToText(res.RxBits))
+	}
+	if *verbose {
+		dumpTrace(res.Samples)
+	}
+	writeTrace(recorder, *traceFile)
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := replay.Save(f, replay.FromResult(res, true)); err != nil {
+			fail(err)
+		}
+		fmt.Printf("archived:      %s\n", *saveFile)
+	}
+}
+
+// writeTrace dumps a recorder's events and its flush+reload ranking.
+func writeTrace(r *trace.Recorder, path string) {
+	if r == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := r.WriteTSV(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("trace:         %d events -> %s\n", r.Len(), path)
+	top := r.ByLine()
+	if len(top) > 0 && top[0].FlushLoadPairs > 0 {
+		fmt.Printf("most probed:   line %#x (%d flush+reload pairs)\n",
+			top[0].Line, top[0].FlushLoadPairs)
+	}
+}
+
+func runParallel(cfg machine.Config, sc covert.Scenario, params covert.Params, bits []byte, mode covert.SharingMode, seed uint64, lanes int, preRun func(*covert.Session)) {
+	ch := &covert.ParallelChannel{
+		Config: cfg, Scenario: sc, Params: params, Lanes: lanes,
+		Mode: mode, WorldSeed: seed, PatternSeed: seed ^ 0xfeed, PreRun: preRun,
+	}
+	res, err := ch.Run(bits)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("channel:       %d parallel lanes of %s\n", lanes, sc.Name())
+	fmt.Printf("transmitted:   %d bits\n", len(res.TxBits))
+	fmt.Printf("received:      %d bits\n", len(res.RxBits))
+	fmt.Printf("raw accuracy:  %.2f%%\n", res.Accuracy*100)
+	fmt.Printf("raw bit rate:  %.1f Kbps\n", res.RawKbps)
+}
+
+func runMultiBit(cfg machine.Config, bits []byte, mode covert.SharingMode, seed uint64, preRun func(*covert.Session), verbose bool) {
+	if len(bits)%2 != 0 {
+		bits = append(bits, 0)
+	}
+	ch := &covert.MultiBitChannel{
+		Config:      cfg,
+		Params:      covert.DefaultMultiBitParams(),
+		Mode:        mode,
+		WorldSeed:   seed,
+		PatternSeed: seed ^ 0xfeed,
+		PreRun:      preRun,
+	}
+	res, err := ch.Run(bits)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("channel:       2-bit symbols over 4 combination pairs\n")
+	fmt.Printf("transmitted:   %d bits (%d symbols)\n", len(res.TxBits), len(res.TxSymbols))
+	fmt.Printf("received:      %d bits\n", len(res.RxBits))
+	fmt.Printf("raw accuracy:  %.2f%%\n", res.Accuracy*100)
+	fmt.Printf("raw bit rate:  %.1f Kbps\n", res.RawKbps)
+	if verbose {
+		dumpTrace(res.Samples)
+	}
+}
+
+func dumpTrace(samples []covert.Sample) {
+	fmt.Println("\nreception trace (latency cycles):")
+	for i, s := range samples {
+		fmt.Printf("%5d", s.Latency)
+		if (i+1)%16 == 0 {
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+}
+
+func patternBits(seed uint64, n int) []byte {
+	r := sim.NewRand(seed)
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(r.Uint64() & 1)
+	}
+	return bits
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "covertchan:", err)
+	os.Exit(1)
+}

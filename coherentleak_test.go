@@ -1,0 +1,80 @@
+package coherentleak
+
+import "testing"
+
+// The facade must expose a working end-to-end attack in a few lines —
+// the README quick-start, verified.
+func TestFacadeQuickStart(t *testing.T) {
+	ch := NewChannel(Scenarios[0])
+	res, err := ch.Run(TextToBits("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BitsToText(res.RxBits); got != "hi" {
+		t.Fatalf("decoded %q, accuracy %v", got, res.Accuracy)
+	}
+}
+
+func TestFacadeScenarioLookup(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != 6 {
+		t.Fatalf("names = %v", names)
+	}
+	sc, err := ScenarioByName("RExclc-LSharedb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Comm != RExcl || sc.Bound != LShared {
+		t.Fatalf("lookup wrong: %+v", sc)
+	}
+}
+
+func TestFacadeMachineAndKernel(t *testing.T) {
+	w := NewWorld(WorldConfig{Seed: 1})
+	m := NewMachine(w, DefaultMachineConfig())
+	k := NewKernel(m, 0)
+	p := k.NewProcess("demo")
+	va := p.MustMmap(1)
+	var path Path
+	k.Spawn(p, 0, "t", func(th *OSThread) {
+		path = th.Load(va).Path
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if path != PathDRAM {
+		t.Fatalf("cold load path = %v", path)
+	}
+}
+
+func TestFacadeCalibrate(t *testing.T) {
+	b, err := Calibrate(DefaultMachineConfig(), 1, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ByPlacement) != 4 {
+		t.Fatalf("bands = %d", len(b.ByPlacement))
+	}
+	if err := b.Distinct(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDefenses(t *testing.T) {
+	cfg := FullHardwareDefense(DefaultMachineConfig())
+	if !cfg.Mitigations.LLCNotifiedOfEToM || !cfg.Mitigations.EqualizeSocketLatency {
+		t.Fatal("defense flags not set")
+	}
+	if DefaultMonitorConfig().InjectLoads == 0 {
+		t.Fatal("monitor defaults empty")
+	}
+	if DefaultKSMGuardConfig().Period == 0 {
+		t.Fatal("guard defaults empty")
+	}
+}
+
+func TestFacadeAccuracy(t *testing.T) {
+	if Accuracy([]byte{1, 0}, []byte{1, 0}) != 1 {
+		t.Fatal("accuracy wrong")
+	}
+}

@@ -1,0 +1,167 @@
+// Keyexfil reproduces the paper's §VII motivation: a trojan with access
+// to a symmetric encryption key exfiltrates it covertly to a spy that has
+// already captured ciphertext off the network. The spy cannot talk to
+// the trojan (security policy), but both share the coherence fabric.
+//
+// The cipher is a toy 4-round AES-128-like block cipher (full AES adds
+// nothing to the demonstration); the channel is the real thing.
+//
+//	go run ./examples/keyexfil
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"coherentleak"
+)
+
+func main() {
+	secret := []byte("attack at dawn!!") // 16-byte plaintext
+	key := []byte{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	}
+
+	// Outside the machine: the spy captures ciphertext in transit.
+	captured := encrypt(secret, key)
+	fmt.Printf("spy captured ciphertext: %x\n", captured)
+	fmt.Println("spy cannot decrypt: no key, and policy forbids contacting the trojan")
+
+	// Inside the machine: the trojan transmits the key over the
+	// RExclc-LSharedb channel — the most rate-robust Table I scenario.
+	sc, err := coherentleak.ScenarioByName("RExclc-LSharedb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch := coherentleak.NewChannel(sc)
+	keyBits := make([]byte, 0, 128)
+	for _, b := range key {
+		for i := 7; i >= 0; i-- {
+			keyBits = append(keyBits, (b>>uint(i))&1)
+		}
+	}
+	res, err := ch.Run(keyBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncovert transfer: %d key bits, accuracy %.1f%%, %.0f Kbps\n",
+		len(res.TxBits), res.Accuracy*100, res.RawKbps)
+
+	if len(res.RxBits) < 128 {
+		log.Fatalf("key truncated: got %d bits", len(res.RxBits))
+	}
+	leaked := make([]byte, 16)
+	for i := range leaked {
+		var v byte
+		for j := 0; j < 8; j++ {
+			v = v<<1 | res.RxBits[i*8+j]&1
+		}
+		leaked[i] = v
+	}
+	if !bytes.Equal(leaked, key) {
+		log.Fatalf("leaked key corrupt: %x", leaked)
+	}
+	fmt.Printf("spy reconstructed key:   %x\n", leaked)
+
+	plain := decrypt(captured, leaked)
+	fmt.Printf("spy decrypted:           %q\n", plain)
+	if !bytes.Equal(plain, secret) {
+		log.Fatal("decryption failed")
+	}
+	fmt.Println("\nexfiltration complete: the security policy was never 'violated' —")
+	fmt.Println("no message crossed any monitored interface, only cache timing.")
+}
+
+// --- toy block cipher (AES-flavoured SPN, 4 rounds, 16-byte blocks) ---
+
+var sbox [256]byte
+
+func init() {
+	// A fixed random-ish permutation derived from a linear congruential
+	// walk; invertible by construction.
+	p := byte(7)
+	for i := 0; i < 256; i++ {
+		sbox[i] = p
+		p = p*167 + 13
+	}
+	// Ensure it is a permutation (167 is odd, so the LCG cycles mod 256
+	// over all residues only if full-period; verify and fall back).
+	seen := [256]bool{}
+	ok := true
+	for _, v := range sbox {
+		if seen[v] {
+			ok = false
+			break
+		}
+		seen[v] = true
+	}
+	if !ok {
+		for i := range sbox {
+			sbox[i] = byte(i*7 + 3)
+		}
+	}
+}
+
+func invSbox() (inv [256]byte) {
+	for i, v := range sbox {
+		inv[v] = byte(i)
+	}
+	return inv
+}
+
+func roundKeys(key []byte) [][16]byte {
+	rks := make([][16]byte, 5)
+	copy(rks[0][:], key)
+	for r := 1; r < 5; r++ {
+		for i := 0; i < 16; i++ {
+			rks[r][i] = sbox[rks[r-1][(i+1)%16]] ^ byte(r)
+		}
+	}
+	return rks
+}
+
+func encrypt(plain, key []byte) []byte {
+	rks := roundKeys(key)
+	s := make([]byte, 16)
+	copy(s, plain)
+	for i := range s {
+		s[i] ^= rks[0][i]
+	}
+	for r := 1; r <= 4; r++ {
+		for i := range s {
+			s[i] = sbox[s[i]]
+		}
+		// Rotate (the toy's diffusion step).
+		first := s[0]
+		copy(s, s[1:])
+		s[15] = first
+		for i := range s {
+			s[i] ^= rks[r][i]
+		}
+	}
+	return s
+}
+
+func decrypt(cipher, key []byte) []byte {
+	rks := roundKeys(key)
+	inv := invSbox()
+	s := make([]byte, 16)
+	copy(s, cipher)
+	for r := 4; r >= 1; r-- {
+		for i := range s {
+			s[i] ^= rks[r][i]
+		}
+		last := s[15]
+		copy(s[1:], s[:15])
+		s[0] = last
+		for i := range s {
+			s[i] = inv[s[i]]
+		}
+	}
+	for i := range s {
+		s[i] ^= rks[0][i]
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module coherentleak
+
+go 1.22

@@ -1,0 +1,293 @@
+// Package cache implements the set-associative write-back caches of the
+// simulated memory hierarchy: private L1/L2 caches per core and the shared
+// last-level cache per socket. Lines carry coherence states from the
+// coherence package; the machine package wires caches, directory and
+// interconnect together.
+package cache
+
+import (
+	"fmt"
+
+	"coherentleak/internal/coherence"
+)
+
+// LineSize is the cache line size in bytes, matching the Xeon X5650.
+const LineSize = 64
+
+// LineAddr returns the line-aligned address containing addr.
+func LineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }
+
+// Geometry describes a cache's shape.
+type Geometry struct {
+	// SizeBytes is the total capacity. Must be Ways*Sets*LineSize.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (g Geometry) Sets() int { return g.SizeBytes / (g.Ways * LineSize) }
+
+// Validate checks the geometry for internal consistency.
+func (g Geometry) Validate() error {
+	if g.SizeBytes <= 0 || g.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", g)
+	}
+	if g.SizeBytes%(g.Ways*LineSize) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by ways*linesize", g.SizeBytes)
+	}
+	if g.Sets() == 0 {
+		return fmt.Errorf("cache: zero sets for %+v", g)
+	}
+	return nil
+}
+
+// Line is one cache line's metadata. Data contents are not stored here;
+// the simulator tracks contents at the physical-frame level (package mem),
+// because the attack depends only on timing, not on data flow through the
+// hierarchy.
+type Line struct {
+	Tag   uint64
+	State coherence.State
+	// lru is the recency stamp used by the LRU policy.
+	lru uint64
+}
+
+// Valid reports whether the line holds usable data.
+func (l *Line) Valid() bool { return l.State.Valid() }
+
+// ReplacementPolicy selects a victim way within a set.
+type ReplacementPolicy interface {
+	// Victim returns the way to evict from set; lines[i] may be invalid,
+	// in which case the policy must prefer it.
+	Victim(set []Line) int
+	// Touch notes that way in set was accessed.
+	Touch(set []Line, way int)
+	// Name identifies the policy for reports.
+	Name() string
+}
+
+// Cache is a single set-associative cache array.
+type Cache struct {
+	geo     Geometry
+	sets    [][]Line
+	policy  ReplacementPolicy
+	clock   uint64 // recency counter for LRU stamps
+	numSets uint64
+
+	// Stats accumulates hit/miss/eviction counts.
+	Stats Stats
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Fills     uint64
+	Flushes   uint64
+}
+
+// New returns a cache with the given geometry and policy. A nil policy
+// defaults to LRU.
+func New(geo Geometry, policy ReplacementPolicy) (*Cache, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		policy = NewLRU()
+	}
+	sets := geo.Sets()
+	c := &Cache{
+		geo:     geo,
+		sets:    make([][]Line, sets),
+		policy:  policy,
+		numSets: uint64(sets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]Line, geo.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on configuration error; for static configs.
+func MustNew(geo Geometry, policy ReplacementPolicy) *Cache {
+	c, err := New(geo, policy)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Geometry returns the cache's shape.
+func (c *Cache) Geometry() Geometry { return c.geo }
+
+// Policy returns the replacement policy.
+func (c *Cache) Policy() ReplacementPolicy { return c.policy }
+
+// index maps a line address to (set, tag). The tag is the full line
+// number, which keeps reconstruction trivial and supports set counts that
+// are not powers of two (the 12288-set Xeon LLC).
+func (c *Cache) index(line uint64) (set uint64, tag uint64) {
+	n := line / LineSize
+	return n % c.numSets, n
+}
+
+// Probe returns the line's state without updating recency, or Invalid if
+// absent. It is the side-effect-free observer used by tests and defenses.
+func (c *Cache) Probe(addr uint64) coherence.State {
+	set, tag := c.index(LineAddr(addr))
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.Valid() && l.Tag == tag {
+			return l.State
+		}
+	}
+	return coherence.Invalid
+}
+
+// Contains reports whether addr's line is present and valid.
+func (c *Cache) Contains(addr uint64) bool { return c.Probe(addr).Valid() }
+
+// Lookup finds addr's line, updating recency and hit/miss stats. It
+// returns the line for in-place state manipulation, or nil on miss.
+func (c *Cache) Lookup(addr uint64) *Line {
+	set, tag := c.index(LineAddr(addr))
+	ways := c.sets[set]
+	for i := range ways {
+		l := &ways[i]
+		if l.Valid() && l.Tag == tag {
+			c.clock++
+			l.lru = c.clock
+			c.policy.Touch(ways, i)
+			c.Stats.Hits++
+			return l
+		}
+	}
+	c.Stats.Misses++
+	return nil
+}
+
+// Evicted describes a line displaced by Insert.
+type Evicted struct {
+	Addr  uint64
+	State coherence.State
+}
+
+// Insert fills addr's line in state, evicting a victim if the set is
+// full. It returns the evicted line's identity so the caller can run the
+// coherence eviction transaction (write-back, directory update,
+// back-invalidation for inclusive caches). ok is false when nothing valid
+// was displaced.
+func (c *Cache) Insert(addr uint64, state coherence.State) (ev Evicted, ok bool) {
+	if !state.Valid() {
+		panic("cache: Insert with Invalid state")
+	}
+	line := LineAddr(addr)
+	set, tag := c.index(line)
+	ways := c.sets[set]
+
+	// Re-fill of a present line just updates state.
+	for i := range ways {
+		l := &ways[i]
+		if l.Valid() && l.Tag == tag {
+			l.State = state
+			c.clock++
+			l.lru = c.clock
+			c.policy.Touch(ways, i)
+			return Evicted{}, false
+		}
+	}
+
+	w := c.policy.Victim(ways)
+	victim := &ways[w]
+	if victim.Valid() {
+		ev = Evicted{Addr: c.addrOf(set, victim.Tag), State: victim.State}
+		ok = true
+		c.Stats.Evictions++
+	}
+	c.clock++
+	*victim = Line{Tag: tag, State: state, lru: c.clock}
+	c.policy.Touch(ways, w)
+	c.Stats.Fills++
+	return ev, ok
+}
+
+// addrOf reconstructs a line address from its tag (the full line number).
+func (c *Cache) addrOf(set, tag uint64) uint64 {
+	_ = set
+	return tag * LineSize
+}
+
+// SetState changes the state of a present line; it reports whether the
+// line was present. SetState(addr, Invalid) invalidates without write-back
+// bookkeeping — callers decide what to do with dirty data first (Probe).
+func (c *Cache) SetState(addr uint64, state coherence.State) bool {
+	set, tag := c.index(LineAddr(addr))
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.Valid() && l.Tag == tag {
+			if state == coherence.Invalid {
+				*l = Line{}
+				c.Stats.Flushes++
+			} else {
+				l.State = state
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line, returning its prior state.
+func (c *Cache) Invalidate(addr uint64) coherence.State {
+	prior := c.Probe(addr)
+	if prior.Valid() {
+		c.SetState(addr, coherence.Invalid)
+	}
+	return prior
+}
+
+// SetAddrs returns every distinct line address that maps to the same set
+// as addr, among the currently valid lines. Used by eviction-based
+// flushing (the paper's "eviction of all the ways in the set" [12]).
+func (c *Cache) SetAddrs(addr uint64) []uint64 {
+	set, _ := c.index(LineAddr(addr))
+	var out []uint64
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.Valid() {
+			out = append(out, c.addrOf(set, l.Tag))
+		}
+	}
+	return out
+}
+
+// ValidLines returns the number of valid lines across all sets.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, ways := range c.sets {
+		for i := range ways {
+			if ways[i].Valid() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Clear invalidates the whole cache (test helper / machine reset).
+func (c *Cache) Clear() {
+	for _, ways := range c.sets {
+		for i := range ways {
+			ways[i] = Line{}
+		}
+	}
+}
+
+// SetIndexOf exposes the set index for addr (for conflict-set workload
+// construction in tests and the noise generator).
+func (c *Cache) SetIndexOf(addr uint64) uint64 {
+	set, _ := c.index(LineAddr(addr))
+	return set
+}

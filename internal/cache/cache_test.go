@@ -1,0 +1,324 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coherentleak/internal/coherence"
+	"coherentleak/internal/sim"
+)
+
+func smallCache(t *testing.T, ways int) *Cache {
+	t.Helper()
+	// 4 sets x `ways` ways.
+	c, err := New(Geometry{SizeBytes: 4 * ways * LineSize, Ways: ways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeometryValidate(t *testing.T) {
+	good := Geometry{SizeBytes: 32 * 1024, Ways: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	if good.Sets() != 64 {
+		t.Fatalf("Sets() = %d, want 64", good.Sets())
+	}
+	bads := []Geometry{
+		{SizeBytes: 0, Ways: 8},
+		{SizeBytes: 32 * 1024, Ways: 0},
+		{SizeBytes: 1000, Ways: 2}, // not divisible by ways*linesize
+		{SizeBytes: -64, Ways: 1},
+	}
+	for _, g := range bads {
+		if err := g.Validate(); err == nil {
+			t.Errorf("geometry %+v accepted", g)
+		}
+	}
+	// Non-power-of-two set counts are legal (the Xeon LLC has 12288 sets).
+	if err := (Geometry{SizeBytes: 3 * 64 * 64, Ways: 1}).Validate(); err != nil {
+		t.Errorf("192-set geometry rejected: %v", err)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0x1234) != 0x1200 {
+		t.Fatalf("LineAddr(0x1234) = %#x", LineAddr(0x1234))
+	}
+	if LineAddr(0x1240) != 0x1240 {
+		t.Fatal("aligned address changed")
+	}
+}
+
+func TestInsertLookupHitMiss(t *testing.T) {
+	c := smallCache(t, 2)
+	const a = 0x1000
+	if c.Lookup(a) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(a, coherence.Exclusive)
+	l := c.Lookup(a)
+	if l == nil || l.State != coherence.Exclusive {
+		t.Fatal("inserted line not found")
+	}
+	// Sub-line addresses hit the same line.
+	if c.Lookup(a+63) == nil {
+		t.Fatal("sub-line address missed")
+	}
+	if c.Lookup(a+64) != nil {
+		t.Fatal("next line spuriously hit")
+	}
+	if c.Stats.Hits != 2 || c.Stats.Misses != 2 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestInsertInvalidPanics(t *testing.T) {
+	c := smallCache(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert(Invalid) did not panic")
+		}
+	}()
+	c.Insert(0x40, coherence.Invalid)
+}
+
+func TestProbeHasNoSideEffects(t *testing.T) {
+	c := smallCache(t, 2)
+	c.Insert(0x40, coherence.Shared)
+	before := c.Stats
+	if c.Probe(0x40) != coherence.Shared {
+		t.Fatal("Probe missed")
+	}
+	if c.Probe(0x999000) != coherence.Invalid {
+		t.Fatal("Probe hit absent line")
+	}
+	if c.Stats != before {
+		t.Fatal("Probe changed stats")
+	}
+}
+
+func TestEvictionReturnsVictim(t *testing.T) {
+	c := smallCache(t, 2) // 4 sets, 2 ways
+	// Three lines mapping to the same set: set stride is 4*64 = 256.
+	a0, a1, a2 := uint64(0x0), uint64(0x400), uint64(0x800)
+	if c.SetIndexOf(a0) != c.SetIndexOf(a1) || c.SetIndexOf(a1) != c.SetIndexOf(a2) {
+		t.Fatal("test addresses do not conflict")
+	}
+	c.Insert(a0, coherence.Modified)
+	c.Insert(a1, coherence.Shared)
+	ev, ok := c.Insert(a2, coherence.Exclusive)
+	if !ok {
+		t.Fatal("no eviction from full set")
+	}
+	if ev.Addr != a0 || ev.State != coherence.Modified {
+		t.Fatalf("evicted %+v, want a0/M", ev)
+	}
+	if c.Contains(a0) {
+		t.Fatal("victim still present")
+	}
+}
+
+func TestLRUVictimChoice(t *testing.T) {
+	c := smallCache(t, 2)
+	a0, a1, a2 := uint64(0x0), uint64(0x400), uint64(0x800)
+	c.Insert(a0, coherence.Shared)
+	c.Insert(a1, coherence.Shared)
+	c.Lookup(a0) // a0 now more recent than a1
+	ev, ok := c.Insert(a2, coherence.Shared)
+	if !ok || ev.Addr != a1 {
+		t.Fatalf("LRU evicted %#x, want a1", ev.Addr)
+	}
+}
+
+func TestReFillUpdatesStateWithoutEviction(t *testing.T) {
+	c := smallCache(t, 2)
+	c.Insert(0x40, coherence.Exclusive)
+	ev, ok := c.Insert(0x40, coherence.Shared)
+	if ok {
+		t.Fatalf("re-fill evicted %+v", ev)
+	}
+	if c.Probe(0x40) != coherence.Shared {
+		t.Fatal("re-fill did not update state")
+	}
+	if c.ValidLines() != 1 {
+		t.Fatal("duplicate line created")
+	}
+}
+
+func TestSetStateAndInvalidate(t *testing.T) {
+	c := smallCache(t, 2)
+	c.Insert(0x40, coherence.Exclusive)
+	if !c.SetState(0x40, coherence.Shared) {
+		t.Fatal("SetState missed present line")
+	}
+	if c.Probe(0x40) != coherence.Shared {
+		t.Fatal("state not updated")
+	}
+	if c.SetState(0x5000, coherence.Shared) {
+		t.Fatal("SetState hit absent line")
+	}
+	if prior := c.Invalidate(0x40); prior != coherence.Shared {
+		t.Fatalf("Invalidate prior = %v", prior)
+	}
+	if c.Contains(0x40) {
+		t.Fatal("line survives Invalidate")
+	}
+	if prior := c.Invalidate(0x40); prior != coherence.Invalid {
+		t.Fatal("double Invalidate reported a state")
+	}
+}
+
+func TestSetAddrs(t *testing.T) {
+	c := smallCache(t, 2)
+	c.Insert(0x0, coherence.Shared)
+	c.Insert(0x400, coherence.Shared)
+	addrs := c.SetAddrs(0x800) // same set
+	if len(addrs) != 2 {
+		t.Fatalf("SetAddrs = %v", addrs)
+	}
+	seen := map[uint64]bool{}
+	for _, a := range addrs {
+		seen[a] = true
+	}
+	if !seen[0x0] || !seen[0x400] {
+		t.Fatalf("SetAddrs = %v, want {0x0, 0x400}", addrs)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := smallCache(t, 4)
+	for i := uint64(0); i < 16; i++ {
+		c.Insert(i*64, coherence.Shared)
+	}
+	c.Clear()
+	if c.ValidLines() != 0 {
+		t.Fatal("Clear left valid lines")
+	}
+}
+
+// Property: the cache never holds more valid lines than its capacity, and
+// a line just inserted is always present.
+func TestCapacityInvariant(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := MustNew(Geometry{SizeBytes: 8 * 2 * LineSize, Ways: 2}, nil)
+		capacity := 8 * 2
+		for _, a16 := range addrs {
+			a := uint64(a16) * LineSize
+			c.Insert(a, coherence.Shared)
+			if !c.Contains(a) {
+				return false
+			}
+			if c.ValidLines() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evicted address reconstruction round-trips — the victim
+// reported by Insert is an address that was previously inserted.
+func TestEvictedAddrRoundTrip(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := MustNew(Geometry{SizeBytes: 4 * 2 * LineSize, Ways: 2}, nil)
+		inserted := map[uint64]bool{}
+		for _, a16 := range addrs {
+			a := uint64(a16) * LineSize
+			ev, ok := c.Insert(a, coherence.Shared)
+			inserted[a] = true
+			if ok && !inserted[ev.Addr] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreePLRUFillsInvalidFirst(t *testing.T) {
+	c := MustNew(Geometry{SizeBytes: 4 * 4 * LineSize, Ways: 4}, NewTreePLRU())
+	base := uint64(0)
+	stride := uint64(4 * LineSize)
+	for i := uint64(0); i < 4; i++ {
+		ev, ok := c.Insert(base+i*stride, coherence.Shared)
+		if ok {
+			t.Fatalf("eviction %+v while invalid ways remain", ev)
+		}
+	}
+	if c.ValidLines() != 4 {
+		t.Fatal("set not full")
+	}
+}
+
+func TestTreePLRUVictimIsNotMostRecent(t *testing.T) {
+	c := MustNew(Geometry{SizeBytes: 4 * 4 * LineSize, Ways: 4}, NewTreePLRU())
+	stride := uint64(4 * LineSize)
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i*stride, coherence.Shared)
+	}
+	// Touch line 2; the next victim must not be line 2.
+	c.Lookup(2 * stride)
+	ev, ok := c.Insert(9*stride, coherence.Shared)
+	if !ok {
+		t.Fatal("no eviction from full set")
+	}
+	if ev.Addr == 2*stride {
+		t.Fatal("tree-PLRU evicted the most recently used line")
+	}
+}
+
+func TestRandomPolicyDeterministicUnderSeed(t *testing.T) {
+	mk := func() []uint64 {
+		c := MustNew(Geometry{SizeBytes: 4 * 2 * LineSize, Ways: 2}, NewRandom(sim.NewRand(99)))
+		var evs []uint64
+		stride := uint64(4 * LineSize)
+		for i := uint64(0); i < 20; i++ {
+			if ev, ok := c.Insert(i*stride, coherence.Shared); ok {
+				evs = append(evs, ev.Addr)
+			}
+		}
+		return evs
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("eviction streams differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random policy not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewLRU().Name() != "LRU" {
+		t.Error("LRU name")
+	}
+	if NewTreePLRU().Name() != "tree-PLRU" {
+		t.Error("tree-PLRU name")
+	}
+	if NewRandom(sim.NewRand(1)).Name() != "random" {
+		t.Error("random name")
+	}
+}
+
+func TestXeonGeometries(t *testing.T) {
+	// The testbed's actual cache shapes must validate.
+	for _, g := range []Geometry{
+		{SizeBytes: 32 * 1024, Ways: 8},         // L1d
+		{SizeBytes: 256 * 1024, Ways: 8},        // L2
+		{SizeBytes: 12 * 1024 * 1024, Ways: 16}, // LLC
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("Xeon geometry %+v invalid: %v", g, err)
+		}
+	}
+}

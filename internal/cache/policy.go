@@ -1,0 +1,122 @@
+package cache
+
+import "coherentleak/internal/sim"
+
+// lru evicts the least-recently-used valid line, preferring invalid ways.
+// Recency is read from Line.lru stamps maintained by the Cache.
+type lru struct{}
+
+// NewLRU returns the true-LRU replacement policy, the default for every
+// cache level.
+func NewLRU() ReplacementPolicy { return lru{} }
+
+func (lru) Name() string { return "LRU" }
+
+func (lru) Touch(set []Line, way int) {}
+
+func (lru) Victim(set []Line) int {
+	victim := 0
+	var best uint64
+	first := true
+	for i := range set {
+		if !set[i].Valid() {
+			return i
+		}
+		if first || set[i].lru < best {
+			best = set[i].lru
+			victim = i
+			first = false
+		}
+	}
+	return victim
+}
+
+// treePLRU approximates LRU with a binary decision tree per set, as real
+// LLCs do. State is kept per policy instance keyed by the set's backing
+// array; because each Cache allocates distinct set slices, a policy
+// instance must not be shared across caches.
+type treePLRU struct {
+	bits map[*Line]uint64
+}
+
+// NewTreePLRU returns a tree-PLRU policy. Associativity must be a power
+// of two at Victim time.
+func NewTreePLRU() ReplacementPolicy {
+	return &treePLRU{bits: make(map[*Line]uint64)}
+}
+
+func (p *treePLRU) Name() string { return "tree-PLRU" }
+
+func (p *treePLRU) key(set []Line) *Line { return &set[0] }
+
+func (p *treePLRU) Touch(set []Line, way int) {
+	n := len(set)
+	if n&(n-1) != 0 {
+		return // non-power-of-two associativity: degrade to no-op
+	}
+	state := p.bits[p.key(set)]
+	// Walk from the root, flipping each node to point away from `way`.
+	node := 0
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			state |= 1 << uint(node) // point right (away)
+			node = 2*node + 1
+			hi = mid
+		} else {
+			state &^= 1 << uint(node) // point left (away)
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+	p.bits[p.key(set)] = state
+}
+
+func (p *treePLRU) Victim(set []Line) int {
+	for i := range set {
+		if !set[i].Valid() {
+			return i
+		}
+	}
+	n := len(set)
+	if n&(n-1) != 0 {
+		return 0
+	}
+	state := p.bits[p.key(set)]
+	node := 0
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if state&(1<<uint(node)) != 0 {
+			node = 2*node + 2 // bit set: go right
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// randomPolicy evicts a uniformly random valid way; a lower bound for
+// policy quality and a useful ablation for the channel's noise floor.
+type randomPolicy struct {
+	rng *sim.Rand
+}
+
+// NewRandom returns a random replacement policy driven by rng.
+func NewRandom(rng *sim.Rand) ReplacementPolicy { return &randomPolicy{rng: rng} }
+
+func (p *randomPolicy) Name() string { return "random" }
+
+func (p *randomPolicy) Touch(set []Line, way int) {}
+
+func (p *randomPolicy) Victim(set []Line) int {
+	for i := range set {
+		if !set[i].Valid() {
+			return i
+		}
+	}
+	return p.rng.Intn(len(set))
+}

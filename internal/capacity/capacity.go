@@ -1,0 +1,156 @@
+// Package capacity estimates the information-theoretic quality of a
+// covert transmission: an error decomposition (flips, losses, extras —
+// the §VIII-B taxonomy), a Shannon-capacity estimate, and the TCSEC
+// (Orange Book) bandwidth classification the paper's §II background
+// invokes ("TCSEC classifies a high bandwidth covert channel to have a
+// minimum rate of 100 bits/sec").
+package capacity
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrorBreakdown decomposes a received bit string against the
+// transmitted one via a minimal edit script.
+type ErrorBreakdown struct {
+	// Transmitted and Received are the string lengths.
+	Transmitted, Received int
+	// Flips counts substituted symbols.
+	Flips int
+	// Lost counts deletions (transmitted, never decoded).
+	Lost int
+	// Extra counts insertions (decoded, never transmitted).
+	Extra int
+}
+
+// Rates returns the per-transmitted-bit flip, loss and insertion rates.
+func (e ErrorBreakdown) Rates() (flip, lost, extra float64) {
+	if e.Transmitted == 0 {
+		return 0, 0, 0
+	}
+	n := float64(e.Transmitted)
+	return float64(e.Flips) / n, float64(e.Lost) / n, float64(e.Extra) / n
+}
+
+// Decompose aligns got against want with unit-cost edits and counts the
+// minimal substitutions, deletions and insertions (ties prefer
+// substitutions, matching how decoding errors actually arise).
+func Decompose(want, got []byte) ErrorBreakdown {
+	n, m := len(want), len(got)
+	// Full DP table with traceback; payloads are at most a few thousand
+	// bits, so O(n·m) is fine.
+	d := make([][]int, n+1)
+	for i := range d {
+		d[i] = make([]int, m+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= m; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if want[i-1] == got[j-1] {
+				cost = 0
+			}
+			best := d[i-1][j-1] + cost
+			if v := d[i-1][j] + 1; v < best {
+				best = v
+			}
+			if v := d[i][j-1] + 1; v < best {
+				best = v
+			}
+			d[i][j] = best
+		}
+	}
+	out := ErrorBreakdown{Transmitted: n, Received: m}
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && d[i][j] == d[i-1][j-1] && want[i-1] == got[j-1]:
+			i, j = i-1, j-1 // match
+		case i > 0 && j > 0 && d[i][j] == d[i-1][j-1]+1:
+			out.Flips++
+			i, j = i-1, j-1
+		case i > 0 && d[i][j] == d[i-1][j]+1:
+			out.Lost++
+			i--
+		default:
+			out.Extra++
+			j--
+		}
+	}
+	return out
+}
+
+// TCSECClass is the Orange Book's qualitative bandwidth category.
+type TCSECClass string
+
+const (
+	// TCSECHigh: >= 100 bits/sec — "a high bandwidth covert channel".
+	TCSECHigh TCSECClass = "high-bandwidth"
+	// TCSECAuditable: between the negligible floor and the high
+	// threshold; TCSEC requires such channels be auditable.
+	TCSECAuditable TCSECClass = "auditable"
+	// TCSECNegligible: <= 0.1 bits/sec — "almost no useful or meaningful
+	// information".
+	TCSECNegligible TCSECClass = "negligible"
+)
+
+// ClassifyTCSEC buckets an information rate in bits/second.
+func ClassifyTCSEC(bitsPerSecond float64) TCSECClass {
+	switch {
+	case bitsPerSecond >= 100:
+		return TCSECHigh
+	case bitsPerSecond > 0.1:
+		return TCSECAuditable
+	default:
+		return TCSECNegligible
+	}
+}
+
+// Report is the capacity estimate for one transmission.
+type Report struct {
+	Errors ErrorBreakdown
+	// RawKbps is the symbol rate carried in.
+	RawKbps float64
+	// BSCCapacity is the per-symbol capacity of a binary symmetric
+	// channel with the observed flip rate: 1 - H2(p).
+	BSCCapacity float64
+	// InfoKbps is the usable information rate: RawKbps x BSCCapacity x
+	// the surviving-symbol fraction. Insertion/deletion channel capacity
+	// has no closed form; discounting by the loss rate is the standard
+	// practical lower bound.
+	InfoKbps float64
+	// TCSEC is the Orange Book classification of InfoKbps.
+	TCSEC TCSECClass
+}
+
+// Analyze builds a Report from a transmission's bits and raw rate.
+func Analyze(want, got []byte, rawKbps float64) Report {
+	r := Report{Errors: Decompose(want, got), RawKbps: rawKbps}
+	flip, lost, extra := r.Errors.Rates()
+	r.BSCCapacity = 1 - binaryEntropy(flip)
+	survive := 1 - lost - extra
+	if survive < 0 {
+		survive = 0
+	}
+	r.InfoKbps = rawKbps * r.BSCCapacity * survive
+	r.TCSEC = ClassifyTCSEC(r.InfoKbps * 1e3)
+	return r
+}
+
+// binaryEntropy is H2(p) in bits.
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+func (r Report) String() string {
+	flip, lost, extra := r.Errors.Rates()
+	return fmt.Sprintf("raw %.0f Kbps, flips %.2f%%, lost %.2f%%, extra %.2f%% -> info %.0f Kbps (%s)",
+		r.RawKbps, flip*100, lost*100, extra*100, r.InfoKbps, r.TCSEC)
+}

@@ -1,0 +1,134 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coherentleak/internal/stats"
+)
+
+func TestDecomposePerfect(t *testing.T) {
+	e := Decompose([]byte{1, 0, 1, 1}, []byte{1, 0, 1, 1})
+	if e.Flips+e.Lost+e.Extra != 0 {
+		t.Fatalf("errors on identical strings: %+v", e)
+	}
+}
+
+func TestDecomposeFlip(t *testing.T) {
+	e := Decompose([]byte{1, 0, 1, 1}, []byte{1, 1, 1, 1})
+	if e.Flips != 1 || e.Lost != 0 || e.Extra != 0 {
+		t.Fatalf("%+v", e)
+	}
+}
+
+func TestDecomposeLostAndExtra(t *testing.T) {
+	e := Decompose([]byte{1, 0, 1, 0, 1}, []byte{1, 1, 0, 1})
+	// Minimal script: delete the leading 0 (or equivalent); total ops
+	// must equal the edit distance.
+	if e.Flips+e.Lost+e.Extra != stats.EditDistance([]byte{1, 0, 1, 0, 1}, []byte{1, 1, 0, 1}) {
+		t.Fatalf("ops inconsistent with edit distance: %+v", e)
+	}
+	if e.Lost == 0 {
+		t.Fatalf("shortened string needs a deletion: %+v", e)
+	}
+	e = Decompose([]byte{1, 0}, []byte{1, 0, 1, 1})
+	if e.Extra != 2 {
+		t.Fatalf("lengthened string needs insertions: %+v", e)
+	}
+}
+
+// Property: the decomposition's op count always equals the Levenshtein
+// distance, and lengths reconcile (n - lost + extra = m).
+func TestDecomposeConsistencyProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		for i := range a {
+			a[i] &= 1
+		}
+		for i := range b {
+			b[i] &= 1
+		}
+		e := Decompose(a, b)
+		if e.Flips+e.Lost+e.Extra != stats.EditDistance(a, b) {
+			return false
+		}
+		return len(a)-e.Lost+e.Extra == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if h := binaryEntropy(0.5); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("H2(0.5) = %v", h)
+	}
+	if binaryEntropy(0) != 0 || binaryEntropy(1) != 0 {
+		t.Fatal("H2 at extremes not 0")
+	}
+}
+
+func TestAnalyzeCleanChannel(t *testing.T) {
+	bits := make([]byte, 100)
+	r := Analyze(bits, bits, 700)
+	if r.BSCCapacity != 1 {
+		t.Fatalf("clean BSC capacity = %v", r.BSCCapacity)
+	}
+	if r.InfoKbps != 700 {
+		t.Fatalf("clean info rate = %v", r.InfoKbps)
+	}
+	if r.TCSEC != TCSECHigh {
+		t.Fatalf("700 Kbps classified %v", r.TCSEC)
+	}
+	if r.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestAnalyzeNoisyChannelLosesCapacity(t *testing.T) {
+	want := make([]byte, 200)
+	got := make([]byte, 200)
+	for i := range want {
+		want[i] = byte(i % 2)
+		got[i] = want[i]
+	}
+	// 10% flips.
+	for i := 0; i < 200; i += 10 {
+		got[i] ^= 1
+	}
+	r := Analyze(want, got, 700)
+	if r.BSCCapacity >= 1 || r.BSCCapacity <= 0 {
+		t.Fatalf("BSC capacity = %v", r.BSCCapacity)
+	}
+	want1 := 1 - binaryEntropy(0.1)
+	if math.Abs(r.BSCCapacity-want1) > 1e-9 {
+		t.Fatalf("capacity = %v, want %v", r.BSCCapacity, want1)
+	}
+	if r.InfoKbps >= 700*want1+1e-9 {
+		t.Fatalf("info rate %v not discounted", r.InfoKbps)
+	}
+}
+
+func TestClassifyTCSEC(t *testing.T) {
+	cases := map[float64]TCSECClass{
+		700_000: TCSECHigh,
+		100:     TCSECHigh,
+		99:      TCSECAuditable,
+		0.2:     TCSECAuditable,
+		0.1:     TCSECNegligible,
+		0:       TCSECNegligible,
+	}
+	for bps, want := range cases {
+		if got := ClassifyTCSEC(bps); got != want {
+			t.Errorf("ClassifyTCSEC(%v) = %v, want %v", bps, got, want)
+		}
+	}
+}
+
+func TestRatesEmpty(t *testing.T) {
+	var e ErrorBreakdown
+	f, l, x := e.Rates()
+	if f != 0 || l != 0 || x != 0 {
+		t.Fatal("rates of empty breakdown not zero")
+	}
+}

@@ -1,0 +1,217 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Directory tracks, per cache line, which private caches hold a copy —
+// the "core valid bits" vector the paper describes at the LLC (§VI-A).
+// The census it maintains is exactly the information the covert channel
+// abuses: one valid bit means the line is in E/M in some private cache and
+// the miss must be forwarded to the owner; two or more mean the line is in
+// S and the LLC's clean copy can answer directly.
+//
+// The implementation is a sparse map keyed by line address: entries exist
+// only for lines with at least one sharer or a clean LLC copy, which keeps
+// memory proportional to live lines rather than the address space.
+type Directory struct {
+	cores   int
+	entries map[uint64]*DirEntry
+}
+
+// DirEntry is the directory's view of one cache line.
+type DirEntry struct {
+	// Sharers is the core-valid bit vector: bit i set means private cache
+	// i (core index within the socket's coherence domain) holds the line.
+	Sharers uint64
+	// LLCValid records whether the shared cache holds a clean copy that
+	// can service misses directly.
+	LLCValid bool
+	// OwnerDirty records that the single sharer may have modified the
+	// line (it is in E or M there), so the LLC copy is possibly stale.
+	OwnerDirty bool
+}
+
+// NewDirectory returns a directory for a coherence domain of cores
+// private caches. cores must be in (0, 64].
+func NewDirectory(cores int) *Directory {
+	if cores <= 0 || cores > 64 {
+		panic(fmt.Sprintf("coherence: directory supports 1..64 cores, got %d", cores))
+	}
+	return &Directory{cores: cores, entries: make(map[uint64]*DirEntry)}
+}
+
+// Cores returns the size of the coherence domain.
+func (d *Directory) Cores() int { return d.cores }
+
+// Lookup returns the entry for line, or nil if the directory has no
+// record (no sharers and no LLC copy).
+func (d *Directory) Lookup(line uint64) *DirEntry {
+	return d.entries[line]
+}
+
+// entry returns the entry for line, creating it if needed.
+func (d *Directory) entry(line uint64) *DirEntry {
+	e := d.entries[line]
+	if e == nil {
+		e = &DirEntry{}
+		d.entries[line] = e
+	}
+	return e
+}
+
+// SharerCount returns the number of private caches holding line.
+func (d *Directory) SharerCount(line uint64) int {
+	e := d.entries[line]
+	if e == nil {
+		return 0
+	}
+	return bits.OnesCount64(e.Sharers)
+}
+
+// IsSharer reports whether core holds line.
+func (d *Directory) IsSharer(line uint64, core int) bool {
+	d.check(core)
+	e := d.entries[line]
+	return e != nil && e.Sharers&(1<<uint(core)) != 0
+}
+
+// SoleSharer returns the single sharer of line, or -1 if the sharer count
+// is not exactly one.
+func (d *Directory) SoleSharer(line uint64) int {
+	e := d.entries[line]
+	if e == nil || bits.OnesCount64(e.Sharers) != 1 {
+		return -1
+	}
+	return bits.TrailingZeros64(e.Sharers)
+}
+
+// Sharers returns the core indices currently holding line, ascending.
+func (d *Directory) Sharers(line uint64) []int {
+	e := d.entries[line]
+	if e == nil {
+		return nil
+	}
+	var out []int
+	v := e.Sharers
+	for v != 0 {
+		c := bits.TrailingZeros64(v)
+		out = append(out, c)
+		v &^= 1 << uint(c)
+	}
+	return out
+}
+
+// AddSharer records that core now holds line. If the line previously had
+// exactly one (possibly dirty) owner, the owner's write-back duty is the
+// caller's responsibility; the directory only clears the dirty mark when
+// MarkClean is called.
+func (d *Directory) AddSharer(line uint64, core int) {
+	d.check(core)
+	e := d.entry(line)
+	e.Sharers |= 1 << uint(core)
+	if bits.OnesCount64(e.Sharers) > 1 {
+		// Two or more sharers implies every copy is clean (S state).
+		e.OwnerDirty = false
+	}
+}
+
+// RemoveSharer records that core no longer holds line (eviction or
+// invalidation of the private copy). Empty entries without an LLC copy
+// are garbage-collected.
+func (d *Directory) RemoveSharer(line uint64, core int) {
+	d.check(core)
+	e := d.entries[line]
+	if e == nil {
+		return
+	}
+	e.Sharers &^= 1 << uint(core)
+	if e.Sharers == 0 {
+		e.OwnerDirty = false
+		if !e.LLCValid {
+			delete(d.entries, line)
+		}
+	}
+}
+
+// SetOwnerDirty marks the sole sharer's copy as possibly modified
+// (the line is in E or M in that private cache), meaning the LLC copy may
+// be stale and misses must be forwarded to the owner.
+func (d *Directory) SetOwnerDirty(line uint64) {
+	e := d.entry(line)
+	e.OwnerDirty = true
+}
+
+// MarkClean records that the LLC holds a clean, current copy of the line
+// (after a write-back or a fill from memory).
+func (d *Directory) MarkClean(line uint64) {
+	e := d.entry(line)
+	e.LLCValid = true
+	e.OwnerDirty = false
+}
+
+// InvalidateLLC drops the clean-copy mark (LLC eviction of the line).
+func (d *Directory) InvalidateLLC(line uint64) {
+	e := d.entries[line]
+	if e == nil {
+		return
+	}
+	e.LLCValid = false
+	if e.Sharers == 0 {
+		delete(d.entries, line)
+	}
+}
+
+// Clear removes every record of line (clflush reaching the directory).
+func (d *Directory) Clear(line uint64) {
+	delete(d.entries, line)
+}
+
+// Census classifies a line the way the paper's §VI-A service-path logic
+// does, from the core-valid bit population count.
+type Census uint8
+
+const (
+	// CensusNone: no private cache holds the line.
+	CensusNone Census = iota
+	// CensusOwned: exactly one private cache holds it (E or M there).
+	CensusOwned
+	// CensusShared: two or more private caches hold it (S everywhere).
+	CensusShared
+)
+
+func (c Census) String() string {
+	switch c {
+	case CensusNone:
+		return "none"
+	case CensusOwned:
+		return "owned"
+	case CensusShared:
+		return "shared"
+	default:
+		return fmt.Sprintf("Census(%d)", uint8(c))
+	}
+}
+
+// CensusOf returns the sharer census for line.
+func (d *Directory) CensusOf(line uint64) Census {
+	switch n := d.SharerCount(line); {
+	case n == 0:
+		return CensusNone
+	case n == 1:
+		return CensusOwned
+	default:
+		return CensusShared
+	}
+}
+
+// Lines returns the number of lines with directory records (for tests and
+// capacity accounting).
+func (d *Directory) Lines() int { return len(d.entries) }
+
+func (d *Directory) check(core int) {
+	if core < 0 || core >= d.cores {
+		panic(fmt.Sprintf("coherence: core %d outside directory domain of %d", core, d.cores))
+	}
+}

@@ -1,0 +1,210 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectoryEmpty(t *testing.T) {
+	d := NewDirectory(6)
+	if d.SharerCount(0x40) != 0 {
+		t.Error("fresh directory has sharers")
+	}
+	if d.CensusOf(0x40) != CensusNone {
+		t.Error("fresh census should be none")
+	}
+	if d.Lookup(0x40) != nil {
+		t.Error("fresh Lookup should be nil")
+	}
+	if d.SoleSharer(0x40) != -1 {
+		t.Error("fresh SoleSharer should be -1")
+	}
+}
+
+func TestDirectoryBounds(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDirectory(%d) did not panic", n)
+				}
+			}()
+			NewDirectory(n)
+		}()
+	}
+	d := NewDirectory(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddSharer with out-of-range core did not panic")
+		}
+	}()
+	d.AddSharer(0x40, 4)
+}
+
+func TestDirectorySharerCensus(t *testing.T) {
+	d := NewDirectory(12)
+	const line = 0x1000
+
+	d.AddSharer(line, 3)
+	if d.CensusOf(line) != CensusOwned {
+		t.Fatalf("one sharer census = %v", d.CensusOf(line))
+	}
+	if d.SoleSharer(line) != 3 {
+		t.Fatalf("SoleSharer = %d, want 3", d.SoleSharer(line))
+	}
+
+	d.AddSharer(line, 7)
+	if d.CensusOf(line) != CensusShared {
+		t.Fatalf("two sharer census = %v", d.CensusOf(line))
+	}
+	if d.SoleSharer(line) != -1 {
+		t.Fatal("SoleSharer should be -1 with two sharers")
+	}
+	got := d.Sharers(line)
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("Sharers = %v, want [3 7]", got)
+	}
+
+	d.RemoveSharer(line, 3)
+	if d.CensusOf(line) != CensusOwned || d.SoleSharer(line) != 7 {
+		t.Fatal("removal did not restore owned census")
+	}
+	d.RemoveSharer(line, 7)
+	if d.CensusOf(line) != CensusNone {
+		t.Fatal("removal did not empty census")
+	}
+	if d.Lines() != 0 {
+		t.Fatal("empty entry not garbage collected")
+	}
+}
+
+func TestDirectoryIdempotentAdd(t *testing.T) {
+	d := NewDirectory(8)
+	d.AddSharer(0x80, 2)
+	d.AddSharer(0x80, 2)
+	if d.SharerCount(0x80) != 1 {
+		t.Fatalf("duplicate add changed count: %d", d.SharerCount(0x80))
+	}
+}
+
+func TestDirectoryDirtyTracking(t *testing.T) {
+	d := NewDirectory(6)
+	const line = 0x2000
+	d.AddSharer(line, 0)
+	d.SetOwnerDirty(line)
+	if e := d.Lookup(line); e == nil || !e.OwnerDirty {
+		t.Fatal("owner-dirty not recorded")
+	}
+	// A second sharer implies the line was downgraded to S everywhere.
+	d.AddSharer(line, 1)
+	if e := d.Lookup(line); e.OwnerDirty {
+		t.Fatal("two sharers must clear owner-dirty")
+	}
+}
+
+func TestDirectoryLLCValidLifecycle(t *testing.T) {
+	d := NewDirectory(6)
+	const line = 0x3000
+	d.MarkClean(line)
+	if e := d.Lookup(line); e == nil || !e.LLCValid {
+		t.Fatal("MarkClean not recorded")
+	}
+	// LLC copy alone keeps the entry alive.
+	if d.Lines() != 1 {
+		t.Fatal("LLC-only entry collected")
+	}
+	d.InvalidateLLC(line)
+	if d.Lines() != 0 {
+		t.Fatal("InvalidateLLC left an empty entry")
+	}
+	// Invalidate with sharers keeps the sharer vector.
+	d.AddSharer(line, 2)
+	d.MarkClean(line)
+	d.InvalidateLLC(line)
+	if d.SharerCount(line) != 1 {
+		t.Fatal("InvalidateLLC dropped sharers")
+	}
+}
+
+func TestDirectoryClear(t *testing.T) {
+	d := NewDirectory(6)
+	const line = 0x4000
+	d.AddSharer(line, 0)
+	d.AddSharer(line, 1)
+	d.MarkClean(line)
+	d.Clear(line)
+	if d.SharerCount(line) != 0 || d.Lookup(line) != nil {
+		t.Fatal("Clear left state behind")
+	}
+}
+
+func TestDirectoryRemoveUnknownLine(t *testing.T) {
+	d := NewDirectory(6)
+	d.RemoveSharer(0x999, 1) // must not panic
+	d.InvalidateLLC(0x999)
+	if d.Lines() != 0 {
+		t.Fatal("phantom entries created")
+	}
+}
+
+func TestIsSharer(t *testing.T) {
+	d := NewDirectory(6)
+	d.AddSharer(0x40, 5)
+	if !d.IsSharer(0x40, 5) || d.IsSharer(0x40, 4) || d.IsSharer(0x80, 5) {
+		t.Fatal("IsSharer wrong")
+	}
+}
+
+// Property: sharer count always equals the number of distinct cores added
+// and not yet removed, regardless of operation order.
+func TestDirectorySharerCountProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := NewDirectory(16)
+		ref := make(map[int]bool)
+		const line = 0xabc0
+		for _, op := range ops {
+			core := int(op % 16)
+			if op&0x8000 != 0 {
+				d.RemoveSharer(line, core)
+				delete(ref, core)
+			} else {
+				d.AddSharer(line, core)
+				ref[core] = true
+			}
+			if d.SharerCount(line) != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: census is a pure function of sharer count.
+func TestCensusConsistency(t *testing.T) {
+	f := func(mask uint64) bool {
+		d := NewDirectory(64)
+		const line = 0x40
+		n := 0
+		for c := 0; c < 64; c++ {
+			if mask&(1<<uint(c)) != 0 {
+				d.AddSharer(line, c)
+				n++
+			}
+		}
+		switch {
+		case n == 0:
+			return d.CensusOf(line) == CensusNone
+		case n == 1:
+			return d.CensusOf(line) == CensusOwned && d.SoleSharer(line) >= 0
+		default:
+			return d.CensusOf(line) == CensusShared
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package coherence defines the cache coherence state machines used by the
+// simulated machine: MESI (the baseline analysed in the paper), Intel-style
+// MESIF, AMD-style MOESI, and a snoop-bus variant. It also provides the
+// directory bookkeeping (LLC core-valid bits) that selects the service path
+// for a read miss — the mechanism the covert channel exploits.
+package coherence
+
+import "fmt"
+
+// State is a cache-line coherence state. The paper's analysis treats M, E,
+// S and I as fundamental and F/O as performance refinements; all six are
+// modelled so the protocol variants can be compared.
+type State uint8
+
+const (
+	// Invalid: the line holds no usable data.
+	Invalid State = iota
+	// Shared: clean, possibly multiple sharers, read-only.
+	Shared
+	// Exclusive: clean, sole copy, read-only but silently upgradeable to
+	// Modified. This dual-intent state is the one the paper attacks.
+	Exclusive
+	// Modified: dirty, sole copy, read-write.
+	Modified
+	// Forward: MESIF only — the sharer designated to answer requests.
+	Forward
+	// Owned: MOESI only — dirty but shared; the owner services misses and
+	// is responsible for the eventual write-back.
+	Owned
+)
+
+var stateNames = [...]string{"I", "S", "E", "M", "F", "O"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Valid reports whether the line holds usable data.
+func (s State) Valid() bool { return s != Invalid }
+
+// Dirty reports whether the line's data may differ from memory.
+func (s State) Dirty() bool { return s == Modified || s == Owned }
+
+// Readable reports whether a load can be satisfied from this state.
+func (s State) Readable() bool { return s.Valid() }
+
+// Writable reports whether a store can proceed without a coherence
+// transaction.
+func (s State) Writable() bool { return s == Modified || s == Exclusive }
+
+// SoleCopy reports whether the protocol guarantees no other cache holds
+// the line.
+func (s State) SoleCopy() bool { return s == Modified || s == Exclusive }
+
+// Protocol selects a coherence protocol family.
+type Protocol uint8
+
+const (
+	// MESI is the four-state baseline the paper uses for exposition.
+	MESI Protocol = iota
+	// MESIF adds the Forward state (Intel Xeon / QuickPath).
+	MESIF
+	// MOESI adds the Owned state (AMD Opteron / HyperTransport).
+	MOESI
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case MESI:
+		return "MESI"
+	case MESIF:
+		return "MESIF"
+	case MOESI:
+		return "MOESI"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// Has reports whether the protocol includes state s.
+func (p Protocol) Has(s State) bool {
+	switch s {
+	case Forward:
+		return p == MESIF
+	case Owned:
+		return p == MOESI
+	default:
+		return true
+	}
+}
+
+// Event is a stimulus applied to a cache line's state machine.
+type Event uint8
+
+const (
+	// LocalRead: the owning core loads the line.
+	LocalRead Event = iota
+	// LocalWrite: the owning core stores to the line.
+	LocalWrite
+	// RemoteRead: another core's read miss reaches this copy.
+	RemoteRead
+	// RemoteWrite: another core's write (RFO/invalidate) reaches this copy.
+	RemoteWrite
+	// Evict: the line is chosen as replacement victim.
+	Evict
+	// FlushOp: an explicit clflush-style invalidation.
+	FlushOp
+)
+
+var eventNames = [...]string{"LocalRead", "LocalWrite", "RemoteRead", "RemoteWrite", "Evict", "Flush"}
+
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("Event(%d)", uint8(e))
+}
+
+// Action is a side effect the cache controller must perform alongside a
+// state transition.
+type Action uint8
+
+const (
+	// NoAction: pure state change.
+	NoAction Action = iota
+	// WriteBack: flush dirty data to the next level / memory.
+	WriteBack
+	// SupplyData: forward the line to the requestor (cache-to-cache).
+	SupplyData
+	// SupplyAndWriteBack: forward to the requestor and also leave a clean
+	// copy at the shared level (the E->S downgrade path in §VI-A).
+	SupplyAndWriteBack
+)
+
+func (a Action) String() string {
+	switch a {
+	case NoAction:
+		return "none"
+	case WriteBack:
+		return "writeback"
+	case SupplyData:
+		return "supply"
+	case SupplyAndWriteBack:
+		return "supply+writeback"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// Transition is the outcome of applying an Event to a State.
+type Transition struct {
+	Next   State
+	Action Action
+}
+
+// Apply returns the transition for state s under event e in protocol p.
+// Transitions follow Sorin, Hill & Wood ("A Primer on Memory Consistency
+// and Cache Coherence"), which the paper cites for its protocol behaviour.
+// Apply panics if s is not a state of p (a protocol implementation bug).
+func Apply(p Protocol, s State, e Event) Transition {
+	if !p.Has(s) {
+		panic(fmt.Sprintf("coherence: state %v not in protocol %v", s, p))
+	}
+	switch e {
+	case LocalRead:
+		// A local read never degrades a valid state; a read to Invalid is
+		// a miss handled by the controller, which installs S/E/F per the
+		// sharer census (see InstallState).
+		if s == Invalid {
+			return Transition{Invalid, NoAction}
+		}
+		return Transition{s, NoAction}
+
+	case LocalWrite:
+		switch s {
+		case Invalid:
+			// Write miss: controller issues RFO; resulting state is M.
+			return Transition{Modified, NoAction}
+		case Shared, Forward, Owned:
+			// Upgrade: invalidate other sharers, become M.
+			return Transition{Modified, NoAction}
+		case Exclusive:
+			// Silent upgrade — no bus traffic. This silence is what makes
+			// the paper's hardware mitigation (§VIII-E item 3) a real
+			// protocol change: the LLC is not currently told about E->M.
+			return Transition{Modified, NoAction}
+		case Modified:
+			return Transition{Modified, NoAction}
+		}
+
+	case RemoteRead:
+		switch s {
+		case Invalid:
+			return Transition{Invalid, NoAction}
+		case Shared:
+			return Transition{Shared, NoAction}
+		case Exclusive:
+			// E -> S with a clean copy left at the shared level; the extra
+			// hop is the latency the spy observes (§VI-A).
+			if p == MESIF {
+				// The previous exclusive owner becomes the Forwarder.
+				return Transition{Forward, SupplyAndWriteBack}
+			}
+			return Transition{Shared, SupplyAndWriteBack}
+		case Modified:
+			if p == MOESI {
+				// Dirty sharing without memory write-back.
+				return Transition{Owned, SupplyData}
+			}
+			return Transition{Shared, SupplyAndWriteBack}
+		case Forward:
+			// Forwarder supplies data and keeps forwarding duty here
+			// (hardware differs on F migration; either choice preserves
+			// the latency structure).
+			return Transition{Forward, SupplyData}
+		case Owned:
+			return Transition{Owned, SupplyData}
+		}
+
+	case RemoteWrite:
+		switch s {
+		case Invalid:
+			return Transition{Invalid, NoAction}
+		case Modified, Owned:
+			// Must hand the dirty data to the writer before invalidating.
+			return Transition{Invalid, SupplyData}
+		default:
+			return Transition{Invalid, NoAction}
+		}
+
+	case Evict:
+		if s.Dirty() {
+			return Transition{Invalid, WriteBack}
+		}
+		return Transition{Invalid, NoAction}
+
+	case FlushOp:
+		if s.Dirty() {
+			return Transition{Invalid, WriteBack}
+		}
+		return Transition{Invalid, NoAction}
+	}
+	panic(fmt.Sprintf("coherence: unhandled event %v", e))
+}
+
+// InstallState returns the state a read-miss fill should install, given
+// how many *other* caches hold the line after the fill.
+func InstallState(p Protocol, otherSharers int) State {
+	if otherSharers == 0 {
+		return Exclusive
+	}
+	if p == MESIF {
+		// The newest requestor becomes the Forwarder on Intel parts.
+		return Forward
+	}
+	return Shared
+}

@@ -1,0 +1,227 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateStrings(t *testing.T) {
+	cases := map[State]string{
+		Invalid: "I", Shared: "S", Exclusive: "E",
+		Modified: "M", Forward: "F", Owned: "O",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(s), s.String(), want)
+		}
+	}
+}
+
+func TestStatePredicates(t *testing.T) {
+	if Invalid.Valid() || Invalid.Readable() {
+		t.Error("Invalid should not be valid/readable")
+	}
+	for _, s := range []State{Shared, Exclusive, Modified, Forward, Owned} {
+		if !s.Valid() || !s.Readable() {
+			t.Errorf("%v should be valid and readable", s)
+		}
+	}
+	if !Modified.Dirty() || !Owned.Dirty() {
+		t.Error("M and O are dirty")
+	}
+	for _, s := range []State{Invalid, Shared, Exclusive, Forward} {
+		if s.Dirty() {
+			t.Errorf("%v should be clean", s)
+		}
+	}
+	if !Modified.Writable() || !Exclusive.Writable() {
+		t.Error("M and E are writable without a transaction")
+	}
+	if Shared.Writable() || Forward.Writable() || Owned.Writable() {
+		t.Error("S, F, O require an upgrade to write")
+	}
+	if !Exclusive.SoleCopy() || !Modified.SoleCopy() || Shared.SoleCopy() {
+		t.Error("SoleCopy wrong")
+	}
+}
+
+func TestProtocolHas(t *testing.T) {
+	if !MESI.Has(Modified) || !MESI.Has(Invalid) {
+		t.Error("MESI must have MESI states")
+	}
+	if MESI.Has(Forward) || MESI.Has(Owned) {
+		t.Error("MESI must not have F or O")
+	}
+	if !MESIF.Has(Forward) || MESIF.Has(Owned) {
+		t.Error("MESIF has F, not O")
+	}
+	if !MOESI.Has(Owned) || MOESI.Has(Forward) {
+		t.Error("MOESI has O, not F")
+	}
+}
+
+func protocols() []Protocol { return []Protocol{MESI, MESIF, MOESI} }
+
+func statesOf(p Protocol) []State {
+	all := []State{Invalid, Shared, Exclusive, Modified, Forward, Owned}
+	var out []State
+	for _, s := range all {
+		if p.Has(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Every (protocol, state, event) triple must produce a state legal in that
+// protocol — the core closure property of the transition tables.
+func TestApplyClosedUnderProtocol(t *testing.T) {
+	events := []Event{LocalRead, LocalWrite, RemoteRead, RemoteWrite, Evict, FlushOp}
+	for _, p := range protocols() {
+		for _, s := range statesOf(p) {
+			for _, e := range events {
+				tr := Apply(p, s, e)
+				if !p.Has(tr.Next) {
+					t.Errorf("%v: %v --%v--> %v leaves the protocol", p, s, e, tr.Next)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyPanicsOnForeignState(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply(MESI, Forward, ...) did not panic")
+		}
+	}()
+	Apply(MESI, Forward, LocalRead)
+}
+
+func TestLocalReadPreservesValidStates(t *testing.T) {
+	for _, p := range protocols() {
+		for _, s := range statesOf(p) {
+			if s == Invalid {
+				continue
+			}
+			tr := Apply(p, s, LocalRead)
+			if tr.Next != s || tr.Action != NoAction {
+				t.Errorf("%v: LocalRead on %v changed state to %v/%v", p, s, tr.Next, tr.Action)
+			}
+		}
+	}
+}
+
+func TestLocalWriteAlwaysReachesModified(t *testing.T) {
+	for _, p := range protocols() {
+		for _, s := range statesOf(p) {
+			tr := Apply(p, s, LocalWrite)
+			if tr.Next != Modified {
+				t.Errorf("%v: LocalWrite on %v -> %v, want M", p, s, tr.Next)
+			}
+		}
+	}
+}
+
+// The transition at the heart of the paper: a remote read hitting an
+// E-state line downgrades it and leaves a clean copy at the shared level.
+func TestExclusiveDowngradeOnRemoteRead(t *testing.T) {
+	tr := Apply(MESI, Exclusive, RemoteRead)
+	if tr.Next != Shared {
+		t.Errorf("MESI: E --RemoteRead--> %v, want S", tr.Next)
+	}
+	if tr.Action != SupplyAndWriteBack {
+		t.Errorf("MESI: E remote read action = %v, want supply+writeback", tr.Action)
+	}
+	trF := Apply(MESIF, Exclusive, RemoteRead)
+	if trF.Next != Forward {
+		t.Errorf("MESIF: E --RemoteRead--> %v, want F", trF.Next)
+	}
+}
+
+func TestModifiedRemoteReadByProtocol(t *testing.T) {
+	if tr := Apply(MESI, Modified, RemoteRead); tr.Next != Shared || tr.Action != SupplyAndWriteBack {
+		t.Errorf("MESI M remote read = %+v", tr)
+	}
+	// MOESI's whole point: avoid the memory write-back on M->shared.
+	if tr := Apply(MOESI, Modified, RemoteRead); tr.Next != Owned || tr.Action != SupplyData {
+		t.Errorf("MOESI M remote read = %+v", tr)
+	}
+}
+
+func TestRemoteWriteInvalidatesEverything(t *testing.T) {
+	for _, p := range protocols() {
+		for _, s := range statesOf(p) {
+			tr := Apply(p, s, RemoteWrite)
+			if tr.Next != Invalid {
+				t.Errorf("%v: RemoteWrite on %v -> %v, want I", p, s, tr.Next)
+			}
+			if s.Dirty() && tr.Action != SupplyData {
+				t.Errorf("%v: RemoteWrite on dirty %v must supply data", p, s)
+			}
+		}
+	}
+}
+
+func TestEvictAndFlushWriteBackDirtyOnly(t *testing.T) {
+	for _, p := range protocols() {
+		for _, s := range statesOf(p) {
+			for _, e := range []Event{Evict, FlushOp} {
+				tr := Apply(p, s, e)
+				if tr.Next != Invalid {
+					t.Errorf("%v: %v on %v -> %v, want I", p, e, s, tr.Next)
+				}
+				wantWB := s.Dirty()
+				gotWB := tr.Action == WriteBack
+				if wantWB != gotWB {
+					t.Errorf("%v: %v on %v writeback=%v, want %v", p, e, s, gotWB, wantWB)
+				}
+			}
+		}
+	}
+}
+
+func TestInstallState(t *testing.T) {
+	for _, p := range protocols() {
+		if got := InstallState(p, 0); got != Exclusive {
+			t.Errorf("%v: install with no sharers = %v, want E", p, got)
+		}
+	}
+	if got := InstallState(MESI, 1); got != Shared {
+		t.Errorf("MESI install with sharers = %v, want S", got)
+	}
+	if got := InstallState(MESIF, 2); got != Forward {
+		t.Errorf("MESIF install with sharers = %v, want F", got)
+	}
+	if got := InstallState(MOESI, 3); got != Shared {
+		t.Errorf("MOESI install with sharers = %v, want S", got)
+	}
+}
+
+// Property: no event sequence can create a writable state without a
+// LocalWrite — i.e. read-only sharing never silently becomes writable.
+func TestNoWritableWithoutLocalWrite(t *testing.T) {
+	f := func(seed uint8, evs []uint8) bool {
+		p := protocols()[int(seed)%3]
+		s := Shared
+		for _, raw := range evs {
+			e := Event(raw % 6)
+			if e == LocalWrite {
+				continue // skip writes; nothing else may grant writability
+			}
+			s = Apply(p, s, e).Next
+			if s.Writable() && s != Exclusive {
+				return false
+			}
+			// Exclusive can only appear on a fill, which Apply does not
+			// model (InstallState does); transitions alone must not mint E.
+			if s == Exclusive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

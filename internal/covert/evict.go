@@ -1,0 +1,52 @@
+package covert
+
+import (
+	"fmt"
+
+	"coherentleak/internal/cache"
+	"coherentleak/internal/kernel"
+)
+
+// BuildSpyEvictionSet allocates pages in the spy's address space until it
+// has collected one virtual address per LLC way whose physical line maps
+// to the same LLC set as the shared block B — the conflict set whose
+// traversal evicts B from the spy's socket ("eviction of all the ways in
+// the set", §VI-B citing [12]).
+//
+// The construction uses the simulator's known physical frame layout; on
+// real hardware the same set is found by timing-based group testing,
+// which the cited prior work describes. The returned addresses are in
+// the spy's private pages, so probing them needs no sharing.
+func (s *Session) BuildSpyEvictionSet() ([]uint64, error) {
+	llc := s.Mach.Socket(s.Mach.Core(s.SpyCore).Socket).LLC
+	target := llc.SetIndexOf(s.SharedPA())
+	ways := llc.Geometry().Ways
+
+	var out []uint64
+	const linesPerPage = kernel.PageSize / cache.LineSize
+	// Allocate in chunks; each page holds linesPerPage consecutive lines,
+	// so a matching line appears every Sets/linesPerPage pages.
+	for tries := 0; len(out) < ways && tries < 1_000_000; tries++ {
+		va, err := s.SpyProc.Mmap(1)
+		if err != nil {
+			return nil, err
+		}
+		base, err := s.SpyProc.Translate(va)
+		if err != nil {
+			return nil, err
+		}
+		for off := uint64(0); off < kernel.PageSize; off += cache.LineSize {
+			pa := base + off
+			if llc.SetIndexOf(pa) == target && cache.LineAddr(pa) != cache.LineAddr(s.SharedPA()) {
+				out = append(out, va+off)
+				if len(out) == ways {
+					break
+				}
+			}
+		}
+	}
+	if len(out) < ways {
+		return nil, fmt.Errorf("covert: found only %d/%d conflict lines", len(out), ways)
+	}
+	return out, nil
+}

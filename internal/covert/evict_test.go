@@ -1,0 +1,101 @@
+package covert
+
+import (
+	"testing"
+
+	"coherentleak/internal/cache"
+	"coherentleak/internal/machine"
+)
+
+func TestBuildSpyEvictionSet(t *testing.T) {
+	sess, err := NewSession(machine.DefaultConfig(), 1, 0, ShareExplicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := sess.BuildSpyEvictionSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc := sess.Mach.Socket(0).LLC
+	want := llc.Geometry().Ways
+	if len(set) != want {
+		t.Fatalf("set size = %d, want %d (LLC ways)", len(set), want)
+	}
+	target := llc.SetIndexOf(sess.SharedPA())
+	seen := map[uint64]bool{}
+	for _, va := range set {
+		pa, err := sess.SpyProc.Translate(va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if llc.SetIndexOf(pa) != target {
+			t.Fatalf("conflict line %#x maps to set %d, want %d", pa, llc.SetIndexOf(pa), target)
+		}
+		line := cache.LineAddr(pa)
+		if seen[line] {
+			t.Fatalf("duplicate conflict line %#x", line)
+		}
+		if line == cache.LineAddr(sess.SharedPA()) {
+			t.Fatal("conflict set contains B itself")
+		}
+		seen[line] = true
+	}
+}
+
+// The §VI-B alternative end to end: a no-clflush spy transmits over the
+// local scenario using conflict-set eviction, slower but accurate.
+func TestEvictionProbeChannel(t *testing.T) {
+	bits := PatternBitsForTest(41, 40)
+	p := DefaultParams()
+	p.Probe = ProbeEviction
+	ch := NewChannel(Scenarios[0]) // LExclc-LSharedb: local only
+	ch.Params = p
+	res, err := ch.Run(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synced {
+		t.Fatal("no sync under eviction probing")
+	}
+	if res.Accuracy != 1 {
+		t.Fatalf("eviction-probe accuracy = %v (rx %d bits)", res.Accuracy, len(res.RxBits))
+	}
+	// Eviction probing pays ~16 extra loads per period: measurably slower
+	// than clflush probing at the same Ts.
+	flush := NewChannel(Scenarios[0])
+	fres, err := flush.Run(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawKbps >= fres.RawKbps {
+		t.Fatalf("eviction probing (%.0f Kbps) not slower than clflush (%.0f Kbps)",
+			res.RawKbps, fres.RawKbps)
+	}
+}
+
+func TestEvictionProbeRejectsRemoteScenarios(t *testing.T) {
+	p := DefaultParams()
+	p.Probe = ProbeEviction
+	ch := NewChannel(Scenarios[1]) // RExclc-RSharedb
+	ch.Params = p
+	if _, err := ch.Run([]byte{1, 0}); err == nil {
+		t.Fatal("remote scenario accepted under eviction probing")
+	}
+}
+
+func TestEvictionProbeRequiresInclusiveLLC(t *testing.T) {
+	p := DefaultParams()
+	p.Probe = ProbeEviction
+	ch := NewChannel(Scenarios[0])
+	ch.Params = p
+	ch.Config.InclusiveLLC = false
+	if _, err := ch.Run([]byte{1, 0}); err == nil {
+		t.Fatal("non-inclusive LLC accepted under eviction probing")
+	}
+}
+
+func TestProbeMethodString(t *testing.T) {
+	if ProbeClflush.String() != "clflush" || ProbeEviction.String() != "eviction" {
+		t.Fatal("probe method strings wrong")
+	}
+}

@@ -1,0 +1,138 @@
+package covert
+
+import (
+	"testing"
+
+	"coherentleak/internal/machine"
+)
+
+func TestMultiBitParamsValidate(t *testing.T) {
+	if err := DefaultMultiBitParams().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := DefaultMultiBitParams()
+	bad.Cs = 0
+	if bad.Validate() == nil {
+		t.Error("zero Cs accepted")
+	}
+	bad = DefaultMultiBitParams()
+	bad.EndRun = bad.Gap
+	if bad.Validate() == nil {
+		t.Error("EndRun == Gap accepted (gaps would end reception)")
+	}
+	bad = DefaultMultiBitParams()
+	bad.SyncPeriods = bad.Cs
+	if bad.Validate() == nil {
+		t.Error("preamble not longer than a symbol accepted")
+	}
+}
+
+func TestMultiBitRejectsOddPayload(t *testing.T) {
+	ch := NewMultiBitChannel()
+	if _, err := ch.Run([]byte{1, 0, 1}); err == nil {
+		t.Fatal("odd payload accepted")
+	}
+}
+
+func TestMultiBitRejectsSingleSocket(t *testing.T) {
+	ch := NewMultiBitChannel()
+	ch.Config.Sockets = 1
+	if _, err := ch.Run([]byte{1, 0}); err == nil {
+		t.Fatal("single socket accepted for the 4-band channel")
+	}
+}
+
+// The Figure 11 example: the first 18 bits 100101000110011011 exercise
+// all four symbol values.
+func TestMultiBitFig11Pattern(t *testing.T) {
+	bits := []byte{1, 0, 0, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 1, 1, 0, 1, 1}
+	ch := NewMultiBitChannel()
+	res, err := ch.Run(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synced {
+		t.Fatal("no sync")
+	}
+	if res.Accuracy != 1 {
+		t.Fatalf("accuracy = %v (rx=%v)", res.Accuracy, res.RxBits)
+	}
+	// All four symbols must actually appear on the wire.
+	seen := map[int]bool{}
+	for _, s := range res.TxSymbols {
+		seen[s] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("pattern covers %d symbols, want 4", len(seen))
+	}
+}
+
+// §VIII-D's headline: the 2-bit channel beats the best binary channel's
+// rate at the same (reliable) sampling interval.
+func TestMultiBitFasterThanBinary(t *testing.T) {
+	bits := PatternBitsForTest(77, 120)
+	mb := NewMultiBitChannel()
+	mres, err := mb.Run(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := NewChannel(Scenarios[0])
+	bres, err := bin.Run(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Accuracy < 0.99 {
+		t.Fatalf("multibit accuracy = %v", mres.Accuracy)
+	}
+	if mres.RawKbps <= bres.RawKbps {
+		t.Fatalf("multibit %.0f Kbps not faster than binary %.0f Kbps",
+			mres.RawKbps, bres.RawKbps)
+	}
+}
+
+func TestMultiBitDeterminism(t *testing.T) {
+	run := func() *MultiBitResult {
+		ch := NewMultiBitChannel()
+		res, err := ch.Run([]byte{1, 1, 0, 0, 1, 0, 0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Samples) != len(b.Samples) || a.Duration != b.Duration {
+		t.Fatal("multibit runs diverged")
+	}
+}
+
+func TestDecodeSymbolRuns(t *testing.T) {
+	// preamble(3), gap, sym2(2), gap, sym0(1), gap
+	trace := []int{3, 3, 3, -1, 2, 2, -1, 0, -1, -1}
+	got := decodeSymbolRuns(trace)
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("decoded %v, want [2 0]", got)
+	}
+	// Majority vote within a run.
+	trace = []int{3, 3, -1, 1, 2, 1, -1}
+	got = decodeSymbolRuns(trace)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("vote decoded %v, want [1]", got)
+	}
+	if got := decodeSymbolRuns(nil); len(got) != 0 {
+		t.Fatalf("empty trace decoded %v", got)
+	}
+}
+
+func TestMultiBitParamsForRate(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	for _, target := range []float64{400, 800, 1100} {
+		p := MultiBitParamsForRate(cfg, target)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		est := p.EstimateKbps(cfg)
+		if est < target*0.75 || est > target*1.3 {
+			t.Errorf("target %v: estimate %v", target, est)
+		}
+	}
+}

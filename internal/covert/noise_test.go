@@ -1,0 +1,101 @@
+package covert
+
+import (
+	"testing"
+
+	"coherentleak/internal/machine"
+)
+
+// Preemption noise is deterministic under a fixed seed.
+func TestPreemptionDeterministic(t *testing.T) {
+	run := func() float64 {
+		ch := NewChannel(Scenarios[0])
+		ch.PreRun = func(s *Session) {
+			s.OSNoiseProb = 0.3
+			s.OSNoiseCycles = 1500
+		}
+		res, err := ch.Run(PatternBitsForTest(31, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Accuracy
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("accuracies diverged: %v vs %v", a, b)
+	}
+}
+
+// Heavier interruption rates must not improve accuracy.
+func TestPreemptionMonotoneHarm(t *testing.T) {
+	measure := func(prob float64) float64 {
+		ch := NewChannel(Scenarios[0])
+		ch.PreRun = func(s *Session) {
+			s.OSNoiseProb = prob
+			s.OSNoiseCycles = 1500
+		}
+		res, err := ch.Run(PatternBitsForTest(33, 120))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Accuracy
+	}
+	quiet := measure(0)
+	heavy := measure(1.0)
+	if quiet != 1 {
+		t.Fatalf("quiet accuracy = %v", quiet)
+	}
+	if heavy >= quiet {
+		t.Fatalf("heavy interruptions did not hurt: %v vs %v", heavy, quiet)
+	}
+}
+
+// The MinRun filter must reject isolated misclassified samples without
+// eating legitimate '0' runs.
+func TestMinRunFilterBehaviour(t *testing.T) {
+	p := DefaultParams()
+	p.C1 = 6
+	p.C0 = 3
+	p.MinRun = 3
+	B, C, X := ClassBound, ClassComm, ClassOther
+	mk := func(classes ...Class) []Sample {
+		out := make([]Sample, len(classes))
+		for i, c := range classes {
+			out[i] = Sample{Class: c}
+		}
+		return out
+	}
+	// boundary(3) spurious-C(2) boundary(2) zero(3C) boundary(3) one(6C)
+	samples := mk(B, B, B, C, C, B, B, C, C, C, B, B, B, C, C, C, C, C, C, X, X)
+	bits := translate(samples, p)
+	want := []byte{0, 1}
+	if len(bits) != len(want) || bits[0] != want[0] || bits[1] != want[1] {
+		t.Fatalf("bits = %v, want %v (spurious run not filtered)", bits, want)
+	}
+}
+
+func TestMinRunValidation(t *testing.T) {
+	p := DefaultParams()
+	p.MinRun = p.C0 + 1
+	if p.Validate() == nil {
+		t.Fatal("MinRun > C0 accepted (would drop every legitimate '0')")
+	}
+	p = DefaultParams()
+	p.MinRun = 0
+	if p.Validate() == nil {
+		t.Fatal("MinRun 0 accepted")
+	}
+}
+
+// A session constructs (and the channel still calibrates) under the
+// mitigated hardware config — the defense changes latencies, not setup.
+func TestSessionUnderMitigatedConfig(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Mitigations.EqualizeSocketLatency = true
+	cfg.Mitigations.LLCNotifiedOfEToM = true
+	if _, err := NewSession(cfg, 1, 0, ShareExplicit); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Calibrate(cfg, 1, 50, 4); err != nil {
+		t.Fatal(err)
+	}
+}

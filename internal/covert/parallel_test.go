@@ -1,0 +1,100 @@
+package covert
+
+import "testing"
+
+func TestParallelChannelOneLaneMatchesBinary(t *testing.T) {
+	bits := PatternBitsForTest(51, 40)
+	ch := NewParallelChannel(Scenarios[0], 1)
+	res, err := ch.Run(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy != 1 {
+		t.Fatalf("1-lane accuracy = %v", res.Accuracy)
+	}
+}
+
+func TestParallelChannelFourLanes(t *testing.T) {
+	bits := PatternBitsForTest(53, 120)
+	ch := NewParallelChannel(Scenarios[0], 4)
+	res, err := ch.Run(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synced {
+		t.Fatal("no sync")
+	}
+	if res.Accuracy != 1 {
+		t.Fatalf("4-lane accuracy = %v (rx %d/%d bits)", res.Accuracy, len(res.RxBits), len(res.TxBits))
+	}
+	if len(res.PerLane) != 4 {
+		t.Fatalf("lanes = %d", len(res.PerLane))
+	}
+}
+
+// The point of lanes: more payload per period. Four lanes must beat one
+// lane's raw rate on the same payload.
+func TestParallelLanesRaiseRate(t *testing.T) {
+	bits := PatternBitsForTest(55, 120)
+	rate := func(lanes int) float64 {
+		ch := NewParallelChannel(Scenarios[0], lanes)
+		res, err := ch.Run(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accuracy < 0.99 {
+			t.Fatalf("%d lanes: accuracy %v", lanes, res.Accuracy)
+		}
+		return res.RawKbps
+	}
+	one, four := rate(1), rate(4)
+	if four <= one*1.5 {
+		t.Fatalf("4 lanes %.0f Kbps vs 1 lane %.0f Kbps: speedup under 1.5x", four, one)
+	}
+	t.Logf("1 lane %.0f Kbps, 4 lanes %.0f Kbps (%.2fx)", one, four, four/one)
+}
+
+func TestParallelChannelRejectsBadConfig(t *testing.T) {
+	ch := NewParallelChannel(Scenarios[0], 0)
+	if _, err := ch.Run([]byte{1}); err == nil {
+		t.Fatal("0 lanes accepted")
+	}
+	ch = NewParallelChannel(Scenarios[0], 17)
+	if _, err := ch.Run([]byte{1}); err == nil {
+		t.Fatal("17 lanes accepted (page holds 64 lines but LLC-set aliasing caps at 16)")
+	}
+	ch = NewParallelChannel(Scenarios[0], 2)
+	p := DefaultParams()
+	p.Probe = ProbeEviction
+	ch.Params = p
+	if _, err := ch.Run([]byte{1, 0}); err == nil {
+		t.Fatal("eviction probing accepted for parallel lanes")
+	}
+}
+
+func TestParallelChannelRemoteScenario(t *testing.T) {
+	bits := PatternBitsForTest(57, 80)
+	ch := NewParallelChannel(Scenarios[3], 4) // RExclc-LSharedb
+	res, err := ch.Run(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy != 1 {
+		t.Fatalf("remote 4-lane accuracy = %v", res.Accuracy)
+	}
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	run := func() *ParallelResult {
+		ch := NewParallelChannel(Scenarios[0], 3)
+		res, err := ch.Run(PatternBitsForTest(59, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Duration != b.Duration || a.Accuracy != b.Accuracy {
+		t.Fatal("parallel runs diverged")
+	}
+}

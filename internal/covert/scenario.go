@@ -1,0 +1,149 @@
+// Package covert implements the paper's contribution: covert timing
+// channels built from cache coherence states. A multi-threaded trojan
+// places a shared read-only block in a chosen (cache location, coherence
+// state) combination; a single-threaded spy times flush+reload accesses
+// to the same block and decodes bits from which latency band each timed
+// load falls into. The package provides the six binary channels of
+// Table I, the 2-bit-symbol channel of §VIII-D, the synchronization
+// handshake of §VII-A, and band calibration (§V / Figure 2).
+package covert
+
+import "fmt"
+
+// Location is a cache location relative to the spy (Table I's convention:
+// "'Remote' and 'Local' are with respect to the spy's location").
+type Location uint8
+
+const (
+	// Local: the same socket as the spy.
+	Local Location = iota
+	// Remote: a different socket.
+	Remote
+)
+
+func (l Location) String() string {
+	if l == Local {
+		return "L"
+	}
+	return "R"
+}
+
+// CState is the coherence state the trojan steers the block into.
+type CState uint8
+
+const (
+	// StateExclusive: one trojan thread holds the block (E, possibly F/M
+	// family — the census-of-one service path).
+	StateExclusive CState = iota
+	// StateShared: two trojan threads hold the block (S; LLC clean copy).
+	StateShared
+)
+
+func (s CState) String() string {
+	if s == StateExclusive {
+		return "Excl"
+	}
+	return "Shared"
+}
+
+// Placement is a (location, coherence state) combination pair — the unit
+// the channel modulates.
+type Placement struct {
+	Loc Location
+	St  CState
+}
+
+// Threads returns how many trojan threads the placement needs.
+func (p Placement) Threads() int {
+	if p.St == StateShared {
+		return 2
+	}
+	return 1
+}
+
+func (p Placement) String() string { return p.Loc.String() + p.St.String() }
+
+// Canonical placements.
+var (
+	LExcl   = Placement{Local, StateExclusive}
+	LShared = Placement{Local, StateShared}
+	RExcl   = Placement{Remote, StateExclusive}
+	RShared = Placement{Remote, StateShared}
+)
+
+// AllPlacements lists the four combination pairs in Figure 2 / §VIII-D
+// order.
+var AllPlacements = []Placement{LShared, LExcl, RShared, RExcl}
+
+// Scenario is one Table I attack configuration: the placement used for
+// bit communication (CSc) and the placement marking bit boundaries (CSb).
+type Scenario struct {
+	Comm  Placement
+	Bound Placement
+}
+
+// Name renders the paper's notation, e.g. "RExclc-LSharedb".
+func (s Scenario) Name() string {
+	return fmt.Sprintf("%sc-%sb", s.Comm, s.Bound)
+}
+
+// Valid reports whether the scenario's two placements are distinguishable.
+func (s Scenario) Valid() bool { return s.Comm != s.Bound }
+
+// TrojanThreads returns the (local, remote) trojan thread counts of
+// Table I — the union of what the two placements need on each socket.
+func (s Scenario) TrojanThreads() (local, remote int) {
+	need := func(p Placement) {
+		n := p.Threads()
+		if p.Loc == Local {
+			if n > local {
+				local = n
+			}
+		} else {
+			if n > remote {
+				remote = n
+			}
+		}
+	}
+	need(s.Comm)
+	need(s.Bound)
+	return local, remote
+}
+
+// Scenarios are the six attack configurations of Table I, in table order.
+var Scenarios = []Scenario{
+	{Comm: LExcl, Bound: LShared},
+	{Comm: RExcl, Bound: RShared},
+	{Comm: RExcl, Bound: LExcl},
+	{Comm: RExcl, Bound: LShared},
+	{Comm: RShared, Bound: LExcl},
+	{Comm: RShared, Bound: LShared},
+}
+
+// ScenarioByName finds a scenario by its paper notation.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("covert: unknown scenario %q (want one of %v)", name, ScenarioNames())
+}
+
+// ScenarioNames lists the six names in Table I order.
+func ScenarioNames() []string {
+	out := make([]string, len(Scenarios))
+	for i, s := range Scenarios {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// ScenarioRank pairs a scenario with its predicted robustness: the
+// distance between its two band centers. Figure 8's accuracy ordering
+// follows this separation (wider gap = higher usable rate), so an
+// adversary picks the top-ranked scenario their placement allows.
+type ScenarioRank struct {
+	Scenario   Scenario
+	Separation float64
+}

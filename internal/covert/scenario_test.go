@@ -1,0 +1,123 @@
+package covert
+
+import "testing"
+
+func TestTableIScenarios(t *testing.T) {
+	// Table I's six rows: names and trojan thread counts.
+	want := []struct {
+		name          string
+		local, remote int
+	}{
+		{"LExclc-LSharedb", 2, 0},
+		{"RExclc-RSharedb", 0, 2},
+		{"RExclc-LExclb", 1, 1},
+		{"RExclc-LSharedb", 2, 1},
+		{"RSharedc-LExclb", 1, 2},
+		{"RSharedc-LSharedb", 2, 2},
+	}
+	if len(Scenarios) != len(want) {
+		t.Fatalf("scenario count = %d, want %d", len(Scenarios), len(want))
+	}
+	for i, w := range want {
+		sc := Scenarios[i]
+		if sc.Name() != w.name {
+			t.Errorf("scenario %d = %s, want %s", i, sc.Name(), w.name)
+		}
+		l, r := sc.TrojanThreads()
+		if l != w.local || r != w.remote {
+			t.Errorf("%s: threads local=%d remote=%d, want %d/%d", w.name, l, r, w.local, w.remote)
+		}
+		total := l + r
+		// Table I's totals: 2, 2, 2, 3, 3, 4.
+		wantTotal := []int{2, 2, 2, 3, 3, 4}[i]
+		if total != wantTotal {
+			t.Errorf("%s: total threads = %d, want %d", w.name, total, wantTotal)
+		}
+		if !sc.Valid() {
+			t.Errorf("%s reported invalid", w.name)
+		}
+	}
+}
+
+func TestPlacementThreads(t *testing.T) {
+	if LExcl.Threads() != 1 || RExcl.Threads() != 1 {
+		t.Error("exclusive placements need 1 thread")
+	}
+	if LShared.Threads() != 2 || RShared.Threads() != 2 {
+		t.Error("shared placements need 2 threads")
+	}
+}
+
+func TestPlacementStrings(t *testing.T) {
+	cases := map[Placement]string{
+		LExcl: "LExcl", LShared: "LShared", RExcl: "RExcl", RShared: "RShared",
+	}
+	for pl, want := range cases {
+		if pl.String() != want {
+			t.Errorf("%v != %s", pl, want)
+		}
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name() != name {
+			t.Fatalf("round trip failed for %s", name)
+		}
+	}
+	if _, err := ScenarioByName("bogus"); err == nil {
+		t.Fatal("bogus scenario accepted")
+	}
+}
+
+func TestInvalidScenario(t *testing.T) {
+	same := Scenario{Comm: LExcl, Bound: LExcl}
+	if same.Valid() {
+		t.Fatal("identical placements reported valid")
+	}
+}
+
+func TestSymbolMapCoversAllPlacements(t *testing.T) {
+	seen := map[Placement]bool{}
+	for _, pl := range SymbolMap {
+		seen[pl] = true
+	}
+	for _, pl := range AllPlacements {
+		if !seen[pl] {
+			t.Errorf("placement %v missing from symbol map", pl)
+		}
+	}
+	for i, pl := range SymbolMap {
+		got, ok := symbolOf(pl)
+		if !ok || got != i {
+			t.Errorf("symbolOf(%v) = %d,%v want %d", pl, got, ok, i)
+		}
+	}
+}
+
+// The rank order must match Figure 8's measured robustness: the two
+// §VIII-B exceptions first, the narrow local pair last.
+func TestRankScenariosMatchesFig8Ordering(t *testing.T) {
+	ranks := RankScenarios(machineDefaultForTest())
+	if len(ranks) != 6 {
+		t.Fatalf("ranked %d scenarios", len(ranks))
+	}
+	if got := ranks[0].Scenario.Name(); got != "RExclc-LSharedb" {
+		t.Errorf("best = %s, want RExclc-LSharedb", got)
+	}
+	if got := ranks[1].Scenario.Name(); got != "RExclc-LExclb" {
+		t.Errorf("second = %s, want RExclc-LExclb", got)
+	}
+	if got := ranks[5].Scenario.Name(); got != "LExclc-LSharedb" {
+		t.Errorf("worst = %s, want LExclc-LSharedb", got)
+	}
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i].Separation > ranks[i-1].Separation {
+			t.Fatal("ranks not descending")
+		}
+	}
+}

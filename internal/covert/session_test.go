@@ -1,0 +1,170 @@
+package covert
+
+import (
+	"testing"
+
+	"coherentleak/internal/kernel"
+	"coherentleak/internal/machine"
+)
+
+func TestSessionKSMSetup(t *testing.T) {
+	s, err := NewSession(machine.DefaultConfig(), 1, 0xabc, ShareKSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.TrojanProc.SharesFrameWith(s.TrojanVA, s.SpyProc, s.SpyVA) {
+		t.Fatal("primary page not shared")
+	}
+	if !s.TrojanProc.SharesFrameWith(s.SpareTrojanVA, s.SpyProc, s.SpareSpyVA) {
+		t.Fatal("spare page not shared")
+	}
+	if s.ExternallyShared() {
+		t.Fatal("fresh session reports external sharing")
+	}
+	// The merged page is read-only COW on both sides.
+	if s.TrojanProc.PTEOf(s.TrojanVA).Writable || s.SpyProc.PTEOf(s.SpyVA).Writable {
+		t.Fatal("merged page left writable")
+	}
+}
+
+func TestSessionExplicitSetup(t *testing.T) {
+	s, err := NewSession(machine.DefaultConfig(), 1, 0, ShareExplicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.TrojanProc.SharesFrameWith(s.TrojanVA, s.SpyProc, s.SpyVA) {
+		t.Fatal("explicit page not shared")
+	}
+	if s.SpareTrojanVA != 0 {
+		t.Fatal("explicit mode should not create a spare page")
+	}
+	if s.SharedPA() == 0 {
+		t.Fatal("zero physical address")
+	}
+}
+
+func TestSessionCorePlacement(t *testing.T) {
+	s, err := NewSession(machine.DefaultConfig(), 1, 0, ShareExplicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SpyCore != 0 {
+		t.Fatal("spy not on core 0")
+	}
+	spySocket := s.Mach.Core(s.SpyCore).Socket
+	for _, c := range s.LocalCores {
+		if s.Mach.Core(c).Socket != spySocket {
+			t.Errorf("local worker core %d not on spy socket", c)
+		}
+		if c == s.SpyCore {
+			t.Error("worker shares the spy's core")
+		}
+	}
+	for _, c := range s.RemoteCores {
+		if s.Mach.Core(c).Socket == spySocket {
+			t.Errorf("remote worker core %d on spy socket", c)
+		}
+	}
+}
+
+func TestSessionSupports(t *testing.T) {
+	two, _ := NewSession(machine.DefaultConfig(), 1, 0, ShareExplicit)
+	for _, sc := range Scenarios {
+		if !two.Supports(sc) {
+			t.Errorf("2-socket session rejects %s", sc.Name())
+		}
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Sockets = 1
+	one, err := NewSession(cfg, 1, 0, ShareExplicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.Supports(Scenarios[0]) {
+		t.Error("1-socket session rejects the local scenario")
+	}
+	for _, sc := range Scenarios[1:] {
+		if one.Supports(sc) {
+			t.Errorf("1-socket session accepts %s", sc.Name())
+		}
+	}
+}
+
+func TestSessionSwitchToSpare(t *testing.T) {
+	s, err := NewSession(machine.DefaultConfig(), 1, 0x123, ShareKSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := s.SharedPA()
+	if !s.SwitchToSpare() {
+		t.Fatal("spare switch failed")
+	}
+	if s.SharedPA() == primary {
+		t.Fatal("still using the primary page")
+	}
+	if s.SwitchToSpare() {
+		t.Fatal("second spare switch should fail (spare consumed)")
+	}
+}
+
+// An external process with the agreed bit pattern merges into the channel
+// page; the session must detect it, and switching to the spare must fix
+// it (§IV / §VII-A).
+func TestExternalCollisionDetection(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	s, err := NewSession(cfg, 1, 0x777, ShareKSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bystander writes the same pattern (it guessed or coincided).
+	bystander := s.Kern.NewProcess("bystander")
+	va := bystander.MustMmap(1)
+	pattern := make([]byte, kernel.PageSize)
+	PagePattern(0x777, pattern)
+	if err := bystander.WriteBytes(va, pattern); err != nil {
+		t.Fatal(err)
+	}
+	if err := bystander.Madvise(va, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Kern.KSM.Scan()
+	if !s.ExternallyShared() {
+		t.Fatal("external merge not detected")
+	}
+	if !s.SwitchToSpare() {
+		t.Fatal("cannot switch to spare")
+	}
+	if s.ExternallyShared() {
+		t.Fatal("spare page also externally shared")
+	}
+}
+
+func TestSessionRejectsTinyMachines(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.CoresPerSocket = 2
+	if _, err := NewSession(cfg, 1, 0, ShareExplicit); err == nil {
+		t.Fatal("2-core socket accepted (spy + 2 local workers need 3)")
+	}
+}
+
+func TestPagePatternDeterministic(t *testing.T) {
+	a := make([]byte, kernel.PageSize)
+	b := make([]byte, kernel.PageSize)
+	PagePattern(42, a)
+	PagePattern(42, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pattern not deterministic")
+		}
+	}
+	PagePattern(43, b)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/2 {
+		t.Fatal("different seeds give similar patterns")
+	}
+}

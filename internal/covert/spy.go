@@ -1,0 +1,226 @@
+package covert
+
+import (
+	"coherentleak/internal/kernel"
+	"coherentleak/internal/sim"
+	"coherentleak/internal/stats"
+)
+
+// Class is the spy's classification of one timed load.
+type Class uint8
+
+const (
+	// ClassComm: latency inside Tc, the communication band.
+	ClassComm Class = iota
+	// ClassBound: latency inside Tb, the boundary band.
+	ClassBound
+	// ClassOther: outside both bands (missed reload, noise, end of
+	// transmission).
+	ClassOther
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassComm:
+		return "C"
+	case ClassBound:
+		return "B"
+	default:
+		return "X"
+	}
+}
+
+// Sample is one timed load observed by the spy.
+type Sample struct {
+	// Cycle is the spy's clock after the load (rdtsc).
+	Cycle sim.Cycles
+	// Latency is the timed load's cost.
+	Latency sim.Cycles
+	// Class is the band classification.
+	Class Class
+}
+
+// Bands is the spy's calibrated view of the latency structure
+// (Tc and Tb of Algorithms 1-2, plus everything needed for multi-bit
+// decoding and Figure 2).
+type Bands struct {
+	// ByPlacement maps each combination pair to its calibrated band.
+	ByPlacement map[Placement]stats.Band
+	// DRAM is the no-copy-anywhere band (the spy's own miss latency).
+	DRAM stats.Band
+}
+
+// Classify buckets a latency by maximum likelihood: the nearest of the
+// communication band center, the boundary band center, and the DRAM
+// (missed-reload) center wins. With three known latency populations this
+// is the optimal decision rule for the spy, and it makes misclassification
+// probability fall with band separation — the §VIII-B observation that
+// widely separated pairs (RExclc-LExclb, RExclc-LSharedb) stay accurate
+// at rates where narrow pairs have already degraded.
+func (b Bands) Classify(sc Scenario, lat sim.Cycles) Class {
+	x := float64(lat)
+	dist := func(c float64) float64 {
+		d := x - c
+		if d < 0 {
+			return -d
+		}
+		return d
+	}
+	dc := dist(b.ByPlacement[sc.Comm].Center)
+	db := dist(b.ByPlacement[sc.Bound].Center)
+	dx := dist(b.DRAM.Center)
+	switch {
+	case dc <= db && dc <= dx:
+		return ClassComm
+	case db <= dx:
+		return ClassBound
+	default:
+		return ClassOther
+	}
+}
+
+// spy is the receive side: the single-threaded observer of Algorithm 2.
+type spy struct {
+	sess   *Session
+	sc     Scenario
+	params Params
+	bands  Bands
+
+	// evictionSet holds the conflict-set virtual addresses used instead
+	// of clflush when params.Probe == ProbeEviction.
+	evictionSet []uint64
+
+	// Samples is the reception trace (Tvalues[] of Algorithm 2).
+	Samples []Sample
+	// Bits is the decoded payload.
+	Bits []byte
+	// Synced reports whether the polling phase saw the boundary band.
+	Synced bool
+	// SyncCycles is how long the polling phase took.
+	SyncCycles sim.Cycles
+	// StartCycle/EndCycle bracket the reception period.
+	StartCycle, EndCycle sim.Cycles
+
+	done bool
+}
+
+// newSpy spawns the spy thread; completion is observable via done.
+func newSpy(sess *Session, sc Scenario, p Params, bands Bands, evictionSet []uint64) *spy {
+	s := &spy{sess: sess, sc: sc, params: p, bands: bands, evictionSet: evictionSet}
+	sess.Kern.Spawn(sess.SpyProc, sess.SpyCore, "spy", func(kt *kernel.Thread) {
+		defer func() { s.done = true }()
+		s.run(kt)
+	})
+	return s
+}
+
+// run executes Algorithm 2's three phases: poll for start, receive,
+// translate.
+func (s *spy) run(kt *kernel.Thread) {
+	p := s.params
+	syncStart := kt.Now()
+
+	// Phase 1: poll for the start of transmission — flush, wait,
+	// timed load, until a latency lands in the boundary band.
+	var first Sample
+	for polls := 0; ; polls++ {
+		if polls > p.MaxPeriods || kt.StopRequested() {
+			return // never synchronized
+		}
+		smp := s.measure(kt)
+		if smp.Class == ClassBound {
+			first = smp
+			break
+		}
+	}
+	s.Synced = true
+	s.SyncCycles = kt.Now() - syncStart
+	s.StartCycle = kt.Now()
+	s.Samples = append(s.Samples, first)
+
+	// Phase 2: reception — record until EndRun consecutive out-of-band
+	// samples.
+	outOfBand := 0
+	for len(s.Samples) < p.MaxPeriods && !kt.StopRequested() {
+		smp := s.measure(kt)
+		s.Samples = append(s.Samples, smp)
+		if smp.Class == ClassOther {
+			outOfBand++
+			if outOfBand >= p.EndRun {
+				break
+			}
+		} else {
+			outOfBand = 0
+		}
+	}
+	s.EndCycle = kt.Now()
+
+	// Phase 3: translation.
+	s.Bits = translate(s.Samples, p)
+}
+
+// measure performs one invalidate + wait + timed load and classifies it.
+// The invalidation is clflush or, in eviction mode, a traversal of B's
+// LLC conflict set.
+func (s *spy) measure(kt *kernel.Thread) Sample {
+	if s.params.Probe == ProbeEviction {
+		for _, va := range s.evictionSet {
+			kt.Load(va)
+		}
+	} else {
+		kt.Flush(s.sess.SpyVA)
+	}
+	kt.Advance(s.params.Ts)
+	acc := kt.Load(s.sess.SpyVA)
+	return Sample{
+		Cycle:   kt.Now(),
+		Latency: acc.Latency,
+		Class:   s.bands.Classify(s.sc, acc.Latency),
+	}
+}
+
+// translate converts the reception trace into bits: strip out-of-band
+// samples (isolated noise must not split a run), then run-length decode
+// alternating boundary/communication runs; each communication run longer
+// than Thold is a '1', otherwise a '0' (Algorithm 2's count[] loop).
+func translate(samples []Sample, p Params) []byte {
+	var classes []Class
+	for _, smp := range samples {
+		if smp.Class != ClassOther {
+			classes = append(classes, smp.Class)
+		}
+	}
+	var bits []byte
+	thold := p.Threshold()
+	minRun := p.MinRun
+	if minRun < 1 {
+		minRun = 1
+	}
+	i := 0
+	for {
+		// Skip the boundary run (and the sync preamble on the first
+		// iteration).
+		for i < len(classes) && classes[i] == ClassBound {
+			i++
+		}
+		if i >= len(classes) {
+			break
+		}
+		run := 0
+		for i < len(classes) && classes[i] == ClassComm {
+			run++
+			i++
+		}
+		if run < minRun {
+			// Too short to be a deliberate placement: a stray
+			// misclassified sample inside a boundary stretch.
+			continue
+		}
+		if float64(run) > thold {
+			bits = append(bits, 1)
+		} else {
+			bits = append(bits, 0)
+		}
+	}
+	return bits
+}

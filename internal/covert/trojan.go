@@ -1,0 +1,152 @@
+package covert
+
+import (
+	"coherentleak/internal/kernel"
+	"coherentleak/internal/sim"
+)
+
+// schedule is the trojan's per-period plan: Placements[i] is where block
+// B must sit during spy period i (period = interval between consecutive
+// spy flushes). Periods past the end are idle — the trojan stops
+// reloading and the spy's samples fall out of every band, terminating
+// reception (Algorithm 2's N-consecutive rule).
+type schedule struct {
+	placements []Placement
+}
+
+// buildSchedule compiles Algorithm 1's loop for a bit string: a boundary
+// preamble of SyncPeriods (the §VII-A synchronization), then for every
+// bit Cb boundary periods followed by C1 or C0 communication periods.
+func buildSchedule(sc Scenario, p Params, bits []byte) schedule {
+	var out []Placement
+	rep := func(pl Placement, n int) {
+		for i := 0; i < n; i++ {
+			out = append(out, pl)
+		}
+	}
+	rep(sc.Bound, p.SyncPeriods)
+	for _, b := range bits {
+		rep(sc.Bound, p.Cb)
+		if b != 0 {
+			rep(sc.Comm, p.C1)
+		} else {
+			rep(sc.Comm, p.C0)
+		}
+	}
+	// A closing boundary delimits the final bit before the idle tail.
+	rep(sc.Bound, p.Cb)
+	return schedule{placements: out}
+}
+
+// at returns the placement for period i and whether the schedule is still
+// live (false = idle tail).
+func (s schedule) at(i uint64) (Placement, bool) {
+	if i >= uint64(len(s.placements)) {
+		return Placement{}, false
+	}
+	return s.placements[i], true
+}
+
+// periods returns the scheduled period count.
+func (s schedule) periods() int { return len(s.placements) }
+
+// trojan drives the transmit side: worker threads pinned to the cores of
+// Table I that keep reloading block B according to the schedule.
+type trojan struct {
+	sess  *Session
+	sched schedule
+
+	// epoch returns B's invalidation count; period index = epoch() -
+	// baseEpoch. A real trojan derives the same counter from its own
+	// reload misses (each spy period begins with exactly one flush or
+	// whole-set eviction, which invalidates the trojan's copy); the
+	// simulator exposes the per-line epoch as the idealized form of that
+	// observation. Clflush probing counts flushes only; eviction probing
+	// counts flushes plus inclusive-LLC back-invalidations.
+	epoch     func() uint64
+	baseEpoch uint64
+
+	// pollGap is the worker polling interval. It bounds how stale a
+	// worker's view of the current period can be; reloads later than the
+	// spy's timed load are the channel's intrinsic drift noise.
+	pollGap sim.Cycles
+
+	threads []*kernel.Thread
+	stopped bool
+}
+
+// newTrojan builds the transmitter for a scenario. Worker threads are
+// spawned immediately and begin polling.
+func newTrojan(sess *Session, sc Scenario, p Params, bits []byte) *trojan {
+	pa := sess.SharedPA()
+	epoch := func() uint64 { return sess.Mach.FlushEpoch(pa) }
+	if p.Probe == ProbeEviction {
+		epoch = func() uint64 { return sess.Mach.InvalidationEpoch(pa) }
+	}
+	tr := &trojan{
+		sess:      sess,
+		sched:     buildSchedule(sc, p, bits),
+		epoch:     epoch,
+		baseEpoch: epoch(),
+		pollGap:   p.Ts / 3,
+	}
+	if tr.pollGap < 24 {
+		tr.pollGap = 24
+	}
+	local, remote := sc.TrojanThreads()
+	for i := 0; i < local; i++ {
+		tr.spawnWorker(Local, i)
+	}
+	for i := 0; i < remote; i++ {
+		tr.spawnWorker(Remote, i)
+	}
+	return tr
+}
+
+// spawnWorker starts one reloader pinned per Table I: workers on the
+// spy's socket serve Local placements, workers on the other socket serve
+// Remote placements; the second worker of a socket participates only in
+// Shared placements (two sharers put the block in S).
+func (t *trojan) spawnWorker(loc Location, idx int) {
+	core := t.sess.workerCores(loc)[idx]
+	rng := t.sess.WorkerRand()
+	th := t.sess.Kern.Spawn(t.sess.TrojanProc, core, workerName(loc, idx), func(kt *kernel.Thread) {
+		for !kt.StopRequested() && !t.stopped {
+			// An interruption may fire here; after waking the worker
+			// immediately polls (the scheduler runs it for at least one
+			// quantum), so bursts do not chain.
+			t.sess.maybePreempt(kt, rng, t.pollGap)
+			period := t.epoch() - t.baseEpoch
+			pl, live := t.sched.at(period)
+			if !live {
+				// Idle tail: stop touching B so the spy sees
+				// out-of-band latencies and ends reception.
+				if period > uint64(t.sched.periods())+64 {
+					return
+				}
+				kt.Advance(t.pollGap)
+				continue
+			}
+			if pl.Loc == loc && idx < pl.Threads() {
+				kt.Load(t.sess.TrojanVA)
+			}
+			kt.Advance(t.pollGap)
+		}
+	})
+	t.threads = append(t.threads, th)
+}
+
+func workerName(loc Location, idx int) string {
+	if loc == Local {
+		return "worker-local" + string(rune('0'+idx))
+	}
+	return "worker-remote" + string(rune('0'+idx))
+}
+
+// stop asks all workers to exit.
+func (t *trojan) stop() {
+	t.stopped = true
+	for _, th := range t.threads {
+		t.sess.World.StopThread(th.Sim)
+	}
+}

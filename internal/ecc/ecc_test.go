@@ -1,0 +1,197 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"coherentleak/internal/covert"
+	"coherentleak/internal/machine"
+)
+
+func TestEncodePacketShape(t *testing.T) {
+	payload := make([]byte, PacketBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	wire, err := EncodePacket(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != PacketBits {
+		t.Fatalf("wire bits = %d, want %d", len(wire), PacketBits)
+	}
+	got, ok := DecodePacket(wire)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("clean round trip failed")
+	}
+}
+
+func TestEncodePacketRejectsWrongSize(t *testing.T) {
+	if _, err := EncodePacket(make([]byte, 63)); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestDecodeDetectsSingleFlips(t *testing.T) {
+	payload := make([]byte, PacketBytes)
+	payload[7] = 0xA5
+	wire, _ := EncodePacket(payload)
+	for _, pos := range []int{0, 100, 511, 512, PacketBits - 1} {
+		w := append([]byte(nil), wire...)
+		w[pos] ^= 1
+		if _, ok := DecodePacket(w); ok {
+			t.Errorf("flip at %d undetected", pos)
+		}
+	}
+}
+
+func TestDecodeDetectsLostBits(t *testing.T) {
+	payload := make([]byte, PacketBytes)
+	wire, _ := EncodePacket(payload)
+	if _, ok := DecodePacket(wire[:len(wire)-1]); ok {
+		t.Fatal("truncated frame accepted")
+	}
+	if _, ok := DecodePacket(append(wire, 0)); ok {
+		t.Fatal("over-long frame accepted")
+	}
+}
+
+func TestDecodeMissesEvenFlipsInChunk(t *testing.T) {
+	// Documented limitation: two flips within one 4-byte chunk cancel in
+	// its parity bit.
+	payload := make([]byte, PacketBytes)
+	wire, _ := EncodePacket(payload)
+	wire[0] ^= 1
+	wire[1] ^= 1
+	if _, ok := DecodePacket(wire); !ok {
+		t.Fatal("double flip in one chunk was detected by a single parity bit?")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary payloads.
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		payload := make([]byte, PacketBytes)
+		copy(payload, raw)
+		wire, err := EncodePacket(payload)
+		if err != nil {
+			return false
+		}
+		got, ok := DecodePacket(wire)
+		return ok && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPad(t *testing.T) {
+	p, n := Pad(make([]byte, 65))
+	if n != 65 || len(p) != 128 {
+		t.Fatalf("Pad(65) -> len %d orig %d", len(p), n)
+	}
+	p, n = Pad(make([]byte, 64))
+	if n != 64 || len(p) != 64 {
+		t.Fatal("whole packet padded")
+	}
+}
+
+func TestHammingRoundTrip(t *testing.T) {
+	bits := []byte{1, 0, 1, 1, 0, 0, 1, 0}
+	wire, err := HammingEncode(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 14 {
+		t.Fatalf("wire len %d", len(wire))
+	}
+	got, corrected, err := HammingDecode(wire)
+	if err != nil || corrected != 0 {
+		t.Fatalf("clean decode: corrected=%d err=%v", corrected, err)
+	}
+	if !bytes.Equal(got, bits) {
+		t.Fatalf("round trip %v -> %v", bits, got)
+	}
+}
+
+func TestHammingCorrectsAnySingleFlip(t *testing.T) {
+	bits := []byte{1, 0, 1, 1}
+	wire, _ := HammingEncode(bits)
+	for pos := range wire {
+		w := append([]byte(nil), wire...)
+		w[pos] ^= 1
+		got, corrected, err := HammingDecode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corrected != 1 {
+			t.Errorf("flip at %d: corrected=%d", pos, corrected)
+		}
+		if !bytes.Equal(got, bits) {
+			t.Errorf("flip at %d not corrected: %v", pos, got)
+		}
+	}
+}
+
+func TestHammingRejectsBadLengths(t *testing.T) {
+	if _, err := HammingEncode([]byte{1, 0, 1}); err == nil {
+		t.Fatal("length 3 accepted")
+	}
+	if _, _, err := HammingDecode(make([]byte, 6)); err == nil {
+		t.Fatal("wire length 6 accepted")
+	}
+}
+
+// Property: Hamming corrects every single-bit error in random blocks.
+func TestHammingSingleErrorProperty(t *testing.T) {
+	f := func(raw uint8, pos uint8) bool {
+		bits := []byte{raw & 1, raw >> 1 & 1, raw >> 2 & 1, raw >> 3 & 1}
+		wire, err := HammingEncode(bits)
+		if err != nil {
+			return false
+		}
+		w := append([]byte(nil), wire...)
+		w[int(pos)%7] ^= 1
+		got, _, err := HammingDecode(w)
+		return err == nil && bytes.Equal(got, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolQuietDelivery(t *testing.T) {
+	ch := *covert.NewChannel(covert.Scenarios[0])
+	ch.Config = machine.DefaultConfig()
+	ch.Mode = covert.ShareExplicit
+	p := NewProtocol(ch)
+	payload := []byte("coherence protocol states leak information; film at 11....!!")
+	res, err := p.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Fatal("payload not recovered on a quiet machine")
+	}
+	if res.Retransmissions != 0 {
+		t.Errorf("quiet machine needed %d retransmissions", res.Retransmissions)
+	}
+	if res.EffectiveKbps <= 0 {
+		t.Error("no effective rate")
+	}
+	if res.UndetectedErrors != 0 {
+		t.Errorf("undetected errors on quiet machine: %d", res.UndetectedErrors)
+	}
+}
+
+func TestProtocolRejectsEmpty(t *testing.T) {
+	p := NewProtocol(*covert.NewChannel(covert.Scenarios[0]))
+	if _, err := p.Send(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	p.MaxAttempts = 0
+	if _, err := p.Send([]byte{1}); err == nil {
+		t.Fatal("zero attempts accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"coherentleak/internal/covert"
+)
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	f := func(raw []byte, depth8 uint8) bool {
+		depth := int(depth8%7) + 1
+		bits := raw[:len(raw)-len(raw)%depth]
+		il, err := Interleave(bits, depth)
+		if err != nil {
+			return false
+		}
+		back, err := Deinterleave(il, depth)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaveSpreadsBursts(t *testing.T) {
+	// 28 bits, depth 7: a burst of 7 consecutive wire positions must map
+	// to 7 distinct rows (code blocks).
+	bits := make([]byte, 28)
+	for i := range bits {
+		bits[i] = byte(i % 2)
+	}
+	il, _ := Interleave(bits, 7)
+	// Corrupt wire positions 0..6.
+	for i := 0; i < 7; i++ {
+		il[i] ^= 1
+	}
+	back, _ := Deinterleave(il, 7)
+	// Count corrupted positions per original row of 7.
+	for row := 0; row < 4; row++ {
+		diff := 0
+		for c := 0; c < 7; c++ {
+			if back[row*7+c] != bits[row*7+c] {
+				diff++
+			}
+		}
+		if diff > 2 {
+			t.Fatalf("row %d absorbed %d burst errors; interleaving failed", row, diff)
+		}
+	}
+}
+
+func TestInterleaveRejectsBadInput(t *testing.T) {
+	if _, err := Interleave(make([]byte, 5), 2); err == nil {
+		t.Fatal("uneven length accepted")
+	}
+	if _, err := Interleave(nil, 0); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	if _, err := Deinterleave(make([]byte, 5), 2); err == nil {
+		t.Fatal("uneven deinterleave accepted")
+	}
+}
+
+func TestFECQuietDelivery(t *testing.T) {
+	ch := *covert.NewChannel(covert.Scenarios[0])
+	ch.Mode = covert.ShareExplicit
+	p := NewFECProtocol(ch)
+	payload := covert.TextToBits("forward error correction")
+	res, err := p.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FrameIntact || !res.Recovered {
+		t.Fatalf("quiet FEC transfer failed: %+v", res)
+	}
+	if res.Corrected != 0 {
+		t.Errorf("corrections on a quiet machine: %d", res.Corrected)
+	}
+	if res.EffectiveKbps <= 0 {
+		t.Error("no effective rate")
+	}
+	// The 7/4 code must cost roughly 43% of the raw rate.
+	if res.WireBits < len(payload)*7/4 {
+		t.Errorf("wire bits %d below code expansion", res.WireBits)
+	}
+}
+
+func TestFECRejectsEmpty(t *testing.T) {
+	p := NewFECProtocol(*covert.NewChannel(covert.Scenarios[0]))
+	if _, err := p.Send(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	p.InterleaveDepth = 0
+	if _, err := p.Send([]byte{1}); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+}
+
+// The run-length decoder converts sample errors into bit insertions and
+// deletions rather than in-place flips, so a block FEC sees either an
+// intact clean frame or destroyed framing — which is exactly why the
+// paper's §VIII-C scheme is detection + retransmission rather than
+// forward correction. This test pins that behaviour: reliable below the
+// knee, graceful framing failure (no mis-corrections, no panics) past it.
+func TestFECFramingBehavior(t *testing.T) {
+	cfg := covert.NewChannel(covert.Scenarios[0]).Config
+	sc, _ := covert.ScenarioByName("RExclc-LSharedb")
+	payload := make([]byte, 96)
+	for i := range payload {
+		payload[i] = byte((i / 3) % 2)
+	}
+	run := func(rate float64) (intact, recovered int) {
+		params := covert.ParamsForRate(cfg, sc, rate)
+		for i := 0; i < 6; i++ {
+			ch := covert.Channel{
+				Config: cfg, Scenario: sc, Params: params,
+				Mode: covert.ShareExplicit, WorldSeed: uint64(i)*131 + 7, PatternSeed: 1,
+			}
+			p := NewFECProtocol(ch)
+			res, err := p.Send(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FrameIntact {
+				intact++
+			}
+			if res.Recovered {
+				recovered++
+			}
+			if res.Recovered && !res.FrameIntact {
+				t.Fatal("recovered through broken framing?")
+			}
+		}
+		return intact, recovered
+	}
+	if _, rec := run(700); rec != 6 {
+		t.Fatalf("below the knee: recovered %d/6", rec)
+	}
+	intact, rec := run(850)
+	if rec > intact {
+		t.Fatalf("recovered (%d) exceeds intact frames (%d)", rec, intact)
+	}
+	if intact == 6 {
+		t.Fatalf("past the knee every frame survived; the knee moved — recalibrate")
+	}
+}

@@ -1,0 +1,50 @@
+package ecc
+
+import "fmt"
+
+// Hamming(7,4): every 4 data bits are encoded as 7 wire bits that
+// tolerate any single-bit flip. Used as the forward-error-correction
+// alternative to parity+retransmission: no reverse channel needed, at a
+// fixed 75% rate overhead.
+
+// HammingEncode expands data bits (values 0/1) into the 7/4 code.
+// Inputs whose length is not a multiple of 4 are rejected.
+func HammingEncode(bits []byte) ([]byte, error) {
+	if len(bits)%4 != 0 {
+		return nil, fmt.Errorf("ecc: hamming input length %d not a multiple of 4", len(bits))
+	}
+	out := make([]byte, 0, len(bits)/4*7)
+	for i := 0; i < len(bits); i += 4 {
+		d := bits[i : i+4]
+		p1 := d[0] ^ d[1] ^ d[3]
+		p2 := d[0] ^ d[2] ^ d[3]
+		p3 := d[1] ^ d[2] ^ d[3]
+		// Positions 1..7: p1 p2 d0 p3 d1 d2 d3.
+		out = append(out, p1, p2, d[0], p3, d[1], d[2], d[3])
+	}
+	return out, nil
+}
+
+// HammingDecode corrects single-bit errors per 7-bit block and returns
+// the data bits plus the number of corrections applied. Wire lengths not
+// a multiple of 7 are rejected (the caller's framing is broken).
+func HammingDecode(wire []byte) (bits []byte, corrected int, err error) {
+	if len(wire)%7 != 0 {
+		return nil, 0, fmt.Errorf("ecc: hamming wire length %d not a multiple of 7", len(wire))
+	}
+	bits = make([]byte, 0, len(wire)/7*4)
+	for i := 0; i < len(wire); i += 7 {
+		var blk [7]byte
+		copy(blk[:], wire[i:i+7])
+		s1 := blk[0] ^ blk[2] ^ blk[4] ^ blk[6]
+		s2 := blk[1] ^ blk[2] ^ blk[5] ^ blk[6]
+		s3 := blk[3] ^ blk[4] ^ blk[5] ^ blk[6]
+		syndrome := int(s1) | int(s2)<<1 | int(s3)<<2
+		if syndrome != 0 {
+			blk[syndrome-1] ^= 1
+			corrected++
+		}
+		bits = append(bits, blk[2], blk[4], blk[5], blk[6])
+	}
+	return bits, corrected, nil
+}

@@ -1,0 +1,81 @@
+// Package ecc implements the paper's §VIII-C error handling: packets of
+// 64 data bytes protected by 16 parity bits (one per 4-byte chunk), a
+// 1-bit NACK reverse channel realized by reversing the trojan/spy roles,
+// and retransmission until receipt. A Hamming(7,4) forward-error-
+// correction codec is included as the natural extension the paper
+// gestures at ("methods to recover information bits due to omission and
+// bit flips is a well studied topic").
+package ecc
+
+import "fmt"
+
+const (
+	// PacketBytes is the payload size per packet.
+	PacketBytes = 64
+	// ChunkBytes is the parity granularity: one parity bit per chunk.
+	ChunkBytes = 4
+	// ParityBits is the number of parity bits per packet.
+	ParityBits = PacketBytes / ChunkBytes
+	// PacketBits is the on-wire packet size in bits.
+	PacketBits = PacketBytes*8 + ParityBits
+)
+
+// EncodePacket frames exactly PacketBytes of payload as PacketBits wire
+// bits: the 512 data bits (MSB-first per byte) followed by 16 even-parity
+// bits, one per 4-byte chunk.
+func EncodePacket(payload []byte) ([]byte, error) {
+	if len(payload) != PacketBytes {
+		return nil, fmt.Errorf("ecc: packet payload must be %d bytes, got %d", PacketBytes, len(payload))
+	}
+	bits := make([]byte, 0, PacketBits)
+	for _, b := range payload {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (b>>uint(i))&1)
+		}
+	}
+	for c := 0; c < ParityBits; c++ {
+		var p byte
+		for _, bit := range bits[c*ChunkBytes*8 : (c+1)*ChunkBytes*8] {
+			p ^= bit
+		}
+		bits = append(bits, p)
+	}
+	return bits, nil
+}
+
+// DecodePacket checks a received wire frame. ok is false when the frame
+// has the wrong length (lost or duplicated bits) or any chunk parity
+// fails; payload is returned only when ok.
+func DecodePacket(wire []byte) (payload []byte, ok bool) {
+	if len(wire) != PacketBits {
+		return nil, false
+	}
+	for c := 0; c < ParityBits; c++ {
+		var p byte
+		for _, bit := range wire[c*ChunkBytes*8 : (c+1)*ChunkBytes*8] {
+			p ^= bit
+		}
+		if p != wire[PacketBytes*8+c] {
+			return nil, false
+		}
+	}
+	payload = make([]byte, PacketBytes)
+	for i := range payload {
+		var v byte
+		for j := 0; j < 8; j++ {
+			v = v<<1 | wire[i*8+j]&1
+		}
+		payload[i] = v
+	}
+	return payload, true
+}
+
+// Pad returns payload padded with zeros to a whole number of packets,
+// and the original length (callers truncate after reassembly).
+func Pad(payload []byte) ([]byte, int) {
+	n := len(payload)
+	if rem := n % PacketBytes; rem != 0 {
+		payload = append(append([]byte(nil), payload...), make([]byte, PacketBytes-rem)...)
+	}
+	return payload, n
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coherentleak/internal/capacity"
+	"coherentleak/internal/covert"
+	"coherentleak/internal/machine"
+	"coherentleak/internal/noise"
+)
+
+// CapacityPoint quantifies the §II TCSEC discussion for one operating
+// point: the usable information rate after accounting for the measured
+// error structure, and its Orange Book classification. (TCSEC calls
+// ≥100 bits/sec "high bandwidth"; the paper's channels exceed that by
+// three to four orders of magnitude.)
+type CapacityPoint struct {
+	Scenario     string
+	TargetKbps   float64
+	NoiseThreads int
+	RawKbps      float64
+	FlipRate     float64
+	LostRate     float64
+	ExtraRate    float64
+	InfoKbps     float64
+	TCSEC        string
+}
+
+// CapacityTable measures information rates for one scenario across a
+// rate x noise grid.
+func CapacityTable(cfg machine.Config, sc covert.Scenario, targets []float64, noiseLevels []int, payloadBits int, seed uint64) ([]CapacityPoint, error) {
+	bits := PatternBits(seed^0xCA9A, payloadBits)
+	bands, err := covert.Calibrate(cfg, seed+7777, 200, covert.DefaultParams().BandMargin)
+	if err != nil {
+		return nil, err
+	}
+	var out []CapacityPoint
+	for i, target := range targets {
+		for j, n := range noiseLevels {
+			n := n
+			ch := covert.Channel{
+				Config:      cfg,
+				Scenario:    sc,
+				Params:      covert.ParamsForRate(cfg, sc, target),
+				Mode:        covert.ShareExplicit,
+				WorldSeed:   seed + uint64(i)*97 + uint64(j)*13,
+				PatternSeed: seed,
+				Bands:       &bands,
+				PreRun: func(s *covert.Session) {
+					if n == 0 {
+						return
+					}
+					if _, err := noise.Attach(s.Kern, noise.DefaultConfig(n)); err != nil {
+						panic(err)
+					}
+					s.OSNoiseProb = noise.CoLocationPressure(s.Kern, n)
+				},
+			}
+			res, err := ch.Run(bits)
+			if err != nil {
+				return nil, fmt.Errorf("capacity %s @%v n=%d: %w", sc.Name(), target, n, err)
+			}
+			rep := capacity.Analyze(res.TxBits, res.RxBits, res.RawKbps)
+			flip, lost, extra := rep.Errors.Rates()
+			out = append(out, CapacityPoint{
+				Scenario:     sc.Name(),
+				TargetKbps:   target,
+				NoiseThreads: n,
+				RawKbps:      res.RawKbps,
+				FlipRate:     flip,
+				LostRate:     lost,
+				ExtraRate:    extra,
+				InfoKbps:     rep.InfoKbps,
+				TCSEC:        string(rep.TCSEC),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"testing"
+
+	"coherentleak/internal/covert"
+	"coherentleak/internal/machine"
+)
+
+func TestPatternBitsDeterministicAndBinary(t *testing.T) {
+	a := PatternBits(7, 200)
+	b := PatternBits(7, 200)
+	ones := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pattern not deterministic")
+		}
+		if a[i] > 1 {
+			t.Fatal("non-binary bit")
+		}
+		ones += int(a[i])
+	}
+	// Roughly balanced.
+	if ones < 60 || ones > 140 {
+		t.Fatalf("ones = %d/200", ones)
+	}
+}
+
+func TestFig6PatternIs100Bits(t *testing.T) {
+	if len(Fig6Pattern()) != 100 {
+		t.Fatalf("Fig6 pattern length %d", len(Fig6Pattern()))
+	}
+}
+
+func TestTableIMatchesScenarios(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, row := range rows {
+		if row.Notation != covert.Scenarios[i].Name() {
+			t.Errorf("row %d = %s", i, row.Notation)
+		}
+	}
+}
+
+func TestFig2Smoke(t *testing.T) {
+	series, err := Fig2LatencyCDF(machine.DefaultConfig(), 50, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	// Means must be ordered localS < localE < remoteS < remoteE.
+	var prev float64
+	for _, s := range series {
+		if s.Summary.Mean <= prev {
+			t.Fatalf("band means not increasing: %v after %v", s.Summary.Mean, prev)
+		}
+		prev = s.Summary.Mean
+		if len(s.CDF) == 0 {
+			t.Fatal("empty CDF")
+		}
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	res, err := Fig7Reception(machine.DefaultConfig(), covert.Scenarios[0], DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy != 1 {
+		t.Fatalf("fig7 accuracy %v", res.Accuracy)
+	}
+	if len(res.Samples) < 100 {
+		t.Fatalf("trace too short: %d", len(res.Samples))
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	res, err := Fig11MultiBit(machine.DefaultConfig(), 20, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.99 {
+		t.Fatalf("fig11 accuracy %v", res.Accuracy)
+	}
+	if len(res.TxBits) != len(Fig11Prefix())+20 {
+		t.Fatalf("payload = %d bits", len(res.TxBits))
+	}
+}
+
+func TestCapacityTableSmoke(t *testing.T) {
+	pts, err := CapacityTable(machine.DefaultConfig(), covert.Scenarios[0],
+		[]float64{300}, []int{0}, 60, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	p := pts[0]
+	if p.InfoKbps <= 0 || p.TCSEC != "high-bandwidth" {
+		t.Fatalf("capacity point = %+v", p)
+	}
+}
+
+func TestMitigationAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 36 transmissions")
+	}
+	pts, err := MitigationAblation(machine.DefaultConfig(), 24, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 36 {
+		t.Fatalf("cells = %d", len(pts))
+	}
+	// Undefended cells decode perfectly; monitor cells are destroyed.
+	for _, p := range pts {
+		switch p.Defense {
+		case "none":
+			if p.Accuracy != 1 {
+				t.Errorf("%s/none accuracy %v", p.Scenario, p.Accuracy)
+			}
+		case "monitor":
+			if p.Accuracy > 0.85 {
+				t.Errorf("%s/monitor accuracy %v", p.Scenario, p.Accuracy)
+			}
+		}
+	}
+}
+
+func TestFindPeakRatesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps many operating points")
+	}
+	pk, err := FindPeakRates(machine.DefaultConfig(), 0.97, 80, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.BinaryKbps < 400 {
+		t.Fatalf("binary peak %v too low", pk.BinaryKbps)
+	}
+	if pk.MultiBitKbps <= pk.BinaryKbps {
+		t.Fatalf("multibit peak %v not above binary %v", pk.MultiBitKbps, pk.BinaryKbps)
+	}
+}

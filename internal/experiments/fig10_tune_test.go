@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"coherentleak/internal/covert"
+	"coherentleak/internal/machine"
+)
+
+// TestFig10Shape checks the error-correction study: 100% recovery
+// everywhere; <=10% effective-rate loss vs raw with no noise; worst-case
+// ~24% additional loss under high noise (§VIII-C).
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sweep")
+	}
+	cfg := machine.DefaultConfig()
+	worstHighLoss := 0.0
+	for _, sc := range covert.Scenarios[:2] { // two scenarios keep runtime sane here; the bench covers all six
+		pts, err := Fig10ECC(cfg, sc, Fig10NoiseLevels(), 2, DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := sc.Name() + ":"
+		var quiet float64
+		for _, p := range pts {
+			line += fmt.Sprintf(" n%d->%.0fKbps(raw %.0f, rtx %d, rec %v)", p.NoiseThreads, p.EffectiveKbps, p.RawKbps, p.Retransmissions, p.Recovered)
+			if !p.Recovered {
+				t.Errorf("%s n=%d: not recovered", sc.Name(), p.NoiseThreads)
+			}
+			switch p.NoiseThreads {
+			case 0:
+				quiet = p.EffectiveKbps
+				if loss := 1 - p.EffectiveKbps/p.RawKbps; loss > 0.15 {
+					t.Errorf("%s: quiet ECC loss %.0f%% vs raw", sc.Name(), loss*100)
+				}
+			case 8:
+				if quiet > 0 {
+					if loss := 1 - p.EffectiveKbps/quiet; loss > worstHighLoss {
+						worstHighLoss = loss
+					}
+				}
+			}
+		}
+		t.Log(line)
+	}
+	t.Logf("worst high-noise loss vs quiet-ECC: %.0f%%", worstHighLoss*100)
+	if worstHighLoss > 0.45 {
+		t.Errorf("high-noise loss %.0f%%, paper reports ~24%% worst case", worstHighLoss*100)
+	}
+}

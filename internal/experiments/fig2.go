@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"coherentleak/internal/covert"
+	"coherentleak/internal/kernel"
+	"coherentleak/internal/machine"
+	"coherentleak/internal/noise"
+	"coherentleak/internal/sim"
+	"coherentleak/internal/stats"
+)
+
+// Fig2Series is one CDF curve of Figure 2.
+type Fig2Series struct {
+	Placement covert.Placement
+	Samples   []float64
+	CDF       []stats.CDFPoint
+	Summary   stats.Summary
+}
+
+// Fig2LatencyCDF reproduces Figure 2: 1000 timed loads per (location,
+// coherence state) combination under a representative desktop workload
+// (a couple of background noise threads, as in §V's measurement setup).
+func Fig2LatencyCDF(cfg machine.Config, samples int, seed uint64) ([]Fig2Series, error) {
+	desktop := func(w *sim.World, m *machine.Machine) {
+		// Browser/dropbox/editor-grade background: two light threads.
+		// They attach through the kernel layer to keep page handling real.
+		k := kernel.New(m, 0)
+		ncfg := noise.DefaultConfig(2)
+		ncfg.WorkingSetPages = 128
+		ncfg.ThinkCycles = 400 // light desktop load, not kcbench
+		if _, err := noise.Attach(k, ncfg); err != nil {
+			panic(err)
+		}
+	}
+	out := make([]Fig2Series, 0, len(covert.AllPlacements))
+	for i, pl := range covert.AllPlacements {
+		xs, err := covert.MeasurePlacement(cfg, seed+uint64(i)*13, pl, samples, desktop)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig2Series{
+			Placement: pl,
+			Samples:   xs,
+			CDF:       stats.CDF(xs),
+			Summary:   stats.Summarize(xs),
+		})
+	}
+	return out, nil
+}

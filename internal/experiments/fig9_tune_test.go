@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"coherentleak/internal/covert"
+	"coherentleak/internal/machine"
+)
+
+// TestFig9Shape checks the noise study's qualitative claims: above 90%
+// average accuracy up to 6 co-located kernel-build threads, and a
+// noticeable (11-23% error) degradation at 8 (§VIII-C).
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sweep")
+	}
+	cfg := machine.DefaultConfig()
+	avg := map[int]float64{}
+	for _, sc := range covert.Scenarios {
+		pts, err := Fig9Noise(cfg, sc, Fig9NoiseLevels(), 300, DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line := sc.Name() + ":"
+		for _, p := range pts {
+			line += fmt.Sprintf(" %d->%.1f%%", p.NoiseThreads, p.Accuracy*100)
+			avg[p.NoiseThreads] += p.Accuracy / float64(len(covert.Scenarios))
+		}
+		t.Log(line)
+	}
+	t.Logf("avg: 0->%.3f 6->%.3f 8->%.3f", avg[0], avg[6], avg[8])
+	if avg[0] < 0.99 {
+		t.Errorf("quiet accuracy %.3f", avg[0])
+	}
+	if avg[6] < 0.90 {
+		t.Errorf("6-thread accuracy %.3f, want >= 0.90", avg[6])
+	}
+	if avg[8] > 0.92 || avg[8] < 0.70 {
+		t.Errorf("8-thread accuracy %.3f, want 11-23%% error zone", avg[8])
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coherentleak/internal/covert"
+	"coherentleak/internal/machine"
+	"coherentleak/internal/mitigate"
+)
+
+// MitigationPoint is one cell of the defense ablation (the quantified
+// form of §VIII-E): raw-bit accuracy of a scenario under one defense.
+type MitigationPoint struct {
+	Scenario string
+	Defense  string
+	Accuracy float64
+}
+
+// MitigationNames lists the ablated defenses.
+func MitigationNames() []string {
+	return []string{"none", "monitor", "ksm-guard", "etom-notify", "equalize", "full-hw"}
+}
+
+// MitigationAblation measures every (scenario, defense) cell.
+func MitigationAblation(cfg machine.Config, payloadBits int, seed uint64) ([]MitigationPoint, error) {
+	bits := PatternBits(seed^0xd3f, payloadBits)
+	var out []MitigationPoint
+	for _, sc := range covert.Scenarios {
+		for _, def := range MitigationNames() {
+			ch := covert.Channel{
+				Config:      cfg,
+				Scenario:    sc,
+				Params:      covert.DefaultParams(),
+				Mode:        covert.ShareKSM,
+				WorldSeed:   seed + uint64(len(out))*41,
+				PatternSeed: seed,
+			}
+			switch def {
+			case "none":
+			case "monitor":
+				ch.PreRun = func(s *covert.Session) {
+					mitigate.AttachMonitor(s.Kern, mitigate.DefaultMonitorConfig(), mitigate.AttackLines(s))
+				}
+			case "ksm-guard":
+				ch.PreRun = func(s *covert.Session) {
+					mitigate.AttachKSMGuard(s.Kern, mitigate.DefaultKSMGuardConfig())
+				}
+			case "etom-notify":
+				ch.Config = mitigate.HardwareFix(cfg)
+			case "equalize":
+				ch.Config = mitigate.TimingObfuscator(cfg)
+			case "full-hw":
+				ch.Config = mitigate.FullHardwareDefense(cfg)
+			}
+			res, err := ch.Run(bits)
+			if err != nil {
+				return nil, fmt.Errorf("mitigation %s/%s: %w", sc.Name(), def, err)
+			}
+			out = append(out, MitigationPoint{
+				Scenario: sc.Name(),
+				Defense:  def,
+				Accuracy: res.Accuracy,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"coherentleak/internal/covert"
+	"coherentleak/internal/machine"
+)
+
+// TestFig8Shape prints the rate sweep for all six scenarios. Assertions
+// encode the paper's qualitative shape: near-perfect accuracy at low
+// rates, degradation past the mid-range, with RExclc-LExclb and
+// RExclc-LSharedb the most robust (§VIII-B).
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sweep")
+	}
+	cfg := machine.DefaultConfig()
+	acc := map[string]map[float64]float64{}
+	for _, sc := range covert.Scenarios {
+		pts, err := Fig8RateSweep(cfg, sc, Fig8Targets(), 400, DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc[sc.Name()] = map[float64]float64{}
+		line := sc.Name() + ":"
+		for _, p := range pts {
+			acc[sc.Name()][p.TargetKbps] = p.Accuracy
+			line += " " + fmtF(p.TargetKbps) + "->" + fmtF(p.Accuracy*100) + "%(" + fmtF(p.MeasuredKbps) + ")"
+		}
+		t.Log(line)
+	}
+	// Low-rate reliability for every scenario.
+	for name, m := range acc {
+		if m[100] < 0.99 || m[300] < 0.98 {
+			t.Errorf("%s: low-rate accuracy too low: 100->%v 300->%v", name, m[100], m[300])
+		}
+	}
+	// Degradation past the mid-range for the weakest pair.
+	if acc["LExclc-LSharedb"][1000] > 0.95 {
+		t.Errorf("LExclc-LSharedb too robust at 1000: %v", acc["LExclc-LSharedb"][1000])
+	}
+	// The two §VIII-B exceptions stay strong at 800.
+	if acc["RExclc-LExclb"][800] < 0.90 {
+		t.Errorf("RExclc-LExclb at 800 = %v, want >= 0.90", acc["RExclc-LExclb"][800])
+	}
+	if acc["RExclc-LSharedb"][800] < 0.94 {
+		t.Errorf("RExclc-LSharedb at 800 = %v, want >= 0.94", acc["RExclc-LSharedb"][800])
+	}
+}
+
+func fmtF(f float64) string { return fmt.Sprintf("%.1f", f) }

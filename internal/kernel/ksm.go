@@ -1,0 +1,110 @@
+package kernel
+
+import (
+	"coherentleak/internal/sim"
+)
+
+// KSM is the kernel same-page merging subsystem (§IV). A scan walks every
+// MERGEABLE mapping in process start order, groups pages by content, and
+// remaps duplicates onto the earliest page's frame, marked read-only
+// copy-on-write. Writes to a merged page fault and un-merge (cowBreak).
+type KSM struct {
+	kern *Kernel
+
+	// Merged counts page mappings that were redirected to a canonical
+	// frame across all scans.
+	Merged int
+	// Unmerged counts COW breaks of merged pages.
+	Unmerged int
+	// Scans counts completed full scans.
+	Scans int
+
+	// MaxPagesPerScan bounds the work of one scan (like Linux's
+	// pages_to_scan); zero means unbounded.
+	MaxPagesPerScan int
+}
+
+// Scan performs one full merge pass and returns the number of mappings
+// merged by this pass.
+func (s *KSM) Scan() int {
+	k := s.kern
+	cands := k.mergeCandidates()
+	if s.MaxPagesPerScan > 0 && len(cands) > s.MaxPagesPerScan {
+		cands = cands[:s.MaxPagesPerScan]
+	}
+
+	// canonical maps content hash -> candidates whose frame is the
+	// surviving copy for that content. Hash collisions are resolved with
+	// a byte comparison, as in the real KSM's stable tree.
+	canonical := make(map[uint64][]candidate)
+	merged := 0
+
+	for _, cand := range cands {
+		h := cand.pte.Frame.ContentHash()
+		var target *candidate
+		alreadyCanonical := false
+		for i := range canonical[h] {
+			cc := &canonical[h][i]
+			if cc.pte.Frame == cand.pte.Frame {
+				alreadyCanonical = true // mapping already shares the survivor
+				break
+			}
+			if cc.pte.Frame.SameContents(cand.pte.Frame) {
+				target = cc
+				break
+			}
+		}
+		if alreadyCanonical {
+			continue
+		}
+		if target == nil {
+			canonical[h] = append(canonical[h], cand)
+			continue
+		}
+		// Merge: cand's mapping is redirected onto target's frame; both
+		// mappings become read-only COW; cand's old frame drops a ref.
+		old := cand.pte.Frame
+		k.mem.AddRef(target.pte.Frame)
+		k.mem.Release(old)
+		cand.pte.Frame = target.pte.Frame
+		cand.pte.Writable = false
+		target.pte.Writable = false
+		target.pte.Frame.MergedByKSM = true
+		merged++
+	}
+	s.Merged += merged
+	s.Scans++
+	return merged
+}
+
+// StartDaemon spawns the ksmd thread: a full scan every period cycles.
+// The daemon runs until stopped (World.StopThread) or the world ends; use
+// the returned thread handle to stop it.
+func (s *KSM) StartDaemon(period sim.Cycles) *sim.Thread {
+	return s.kern.world.Spawn("ksmd", func(t *sim.Thread) {
+		for !t.StopRequested() {
+			t.Advance(period)
+			s.Scan()
+		}
+	})
+}
+
+// UnmergePage force-splits every mapping of the frame behind (proc, va)
+// back to private copies — the paper's second mitigation (§VIII-E):
+// "setup timeouts for KSM to un-merge shared pages with suspicious
+// access patterns". It returns the number of mappings split.
+func (s *KSM) UnmergePage(frameNum uint64) int {
+	k := s.kern
+	split := 0
+	for _, p := range k.Processes() {
+		for vp, pte := range p.pages {
+			if pte.Frame.Number == frameNum && pte.Frame.MergedByKSM {
+				if err := k.cowBreak(p, vp, pte); err != nil {
+					continue
+				}
+				split++
+			}
+		}
+	}
+	return split
+}

@@ -1,0 +1,583 @@
+package machine
+
+import (
+	"fmt"
+
+	"coherentleak/internal/cache"
+	"coherentleak/internal/coherence"
+	"coherentleak/internal/sim"
+)
+
+// Access is the outcome of one timed memory operation.
+type Access struct {
+	// Latency is the end-to-end cost in cycles, including interconnect
+	// queuing and measurement jitter. It is what the spy's rdtsc sees.
+	Latency sim.Cycles
+	// Path is the service path the coherence protocol selected.
+	Path Path
+}
+
+// Load performs a timed read of addr by core g on behalf of thread t.
+// The thread's clock advances by the returned latency.
+func (m *Machine) Load(t *sim.Thread, g int, addr uint64) Access {
+	a := m.load(t, g, addr)
+	m.emit(t, g, addr, "load", a)
+	return a
+}
+
+func (m *Machine) load(t *sim.Thread, g int, addr uint64) Access {
+	core := m.Core(g)
+	line := cache.LineAddr(addr)
+	m.Stats.Loads++
+	walk := m.tlbPenalty(g, addr)
+
+	// Private-cache hits.
+	if l := core.L1.Lookup(line); l != nil {
+		return m.finish(t, line, PathL1, m.cfg.Latencies.L1Hit+walk)
+	}
+	if l := core.L2.Lookup(line); l != nil {
+		// Refill L1 in the same state; inclusion (L1 ⊆ L2) means the L1
+		// victim needs no write-back beyond its L2 copy.
+		m.fillL1(core, line, l.State)
+		return m.finish(t, line, PathL2, m.cfg.Latencies.L2Hit+walk)
+	}
+
+	path, base := m.missPath(t.Now(), core, line)
+	if m.cfg.NextLinePrefetch {
+		m.prefetchNext(t.Now(), core, line)
+	}
+	if m.cfg.Mitigations.EqualizeSocketLatency && path >= PathLocalLLC {
+		worst := m.cfg.Latencies.MissBase + 2*m.cfg.Latencies.Ring +
+			m.cfg.Latencies.LLCService + 2*m.cfg.Latencies.QPI +
+			m.cfg.Latencies.ForwardRemote
+		if base < worst {
+			base = worst
+		}
+	}
+	return m.finish(t, line, path, base+walk)
+}
+
+// prefetchNext issues the next-line prefetch: a background fill of
+// line+64 into core's caches. It runs the full coherence transaction
+// (prefetches downgrade other cores' E/M copies exactly like demand
+// loads — the behaviour that perturbs probing attacks) but charges the
+// requesting thread nothing; the prefetch engine works off the critical
+// path.
+func (m *Machine) prefetchNext(now sim.Cycles, core *Core, line uint64) {
+	next := line + cache.LineSize
+	if core.L1.Contains(next) || core.L2.Contains(next) {
+		return
+	}
+	m.Stats.Prefetches++
+	m.missPath(now, core, next)
+}
+
+// missPath services a load miss for core on line, running the coherence
+// transaction (state changes, directory updates, fills) and returning the
+// path taken plus its base latency including interconnect queuing.
+func (m *Machine) missPath(now sim.Cycles, core *Core, line uint64) (Path, sim.Cycles) {
+	lat := m.cfg.Latencies
+	sock := m.sockets[core.Socket]
+	m.lastUtil = sock.Ring.Utilization(now)
+	base := lat.MissBase + sock.Ring.Traverse(now) + sock.Ring.Traverse(now) + lat.LLCService
+	if m.cfg.SnoopBus {
+		// Broadcast protocols arbitrate for the bus before snooping;
+		// the census below is what the parallel snoop responses report
+		// rather than a directory lookup, but the outcome — and so the
+		// latency class — is the same.
+		base += lat.BusArbitration
+	}
+
+	switch sock.Dir.CensusOf(line) {
+	case coherence.CensusShared:
+		// Two or more local sharers: the LLC's copy is clean (S state)
+		// and services the miss directly (§VI-A).
+		if m.llcServiceable(sock, line) {
+			m.fillRequestor(core, line, false)
+			m.exclusiveMoveOut(sock, line)
+			return PathLocalLLC, base
+		}
+		// Non-inclusive LLC may lack the copy; fall back to a sharer
+		// forward (same latency class as the E-state path).
+		m.forwardFromLocal(sock, core, line)
+		return PathLocalForward, base + lat.ForwardLocal
+
+	case coherence.CensusOwned:
+		// A single owner may hold the line in E or M; the LLC copy is
+		// possibly stale, so the request is forwarded to the owner —
+		// unless the E->M notification mitigation lets the LLC prove its
+		// copy is current.
+		if m.cfg.Mitigations.LLCNotifiedOfEToM && !m.upgraded[line] && m.llcServiceable(sock, line) {
+			m.fillRequestor(core, line, false)
+			return PathLocalLLC, base
+		}
+		m.forwardFromLocal(sock, core, line)
+		return PathLocalForward, base + lat.ForwardLocal
+
+	case coherence.CensusNone:
+		if m.llcServiceable(sock, line) {
+			// Clean LLC hit with no private copies: no coherence activity.
+			m.fillRequestor(core, line, false)
+			m.exclusiveMoveOut(sock, line)
+			return PathLocalLLC, base
+		}
+	}
+
+	// Local socket cannot service the miss: consult the other sockets
+	// over the inter-socket link before falling through to DRAM.
+	for _, remote := range m.sockets {
+		if remote.ID == core.Socket {
+			continue
+		}
+		qpiLink := m.qpi[core.Socket][remote.ID]
+		if u := qpiLink.Utilization(now); u > m.lastUtil {
+			m.lastUtil = u
+		}
+		switch remote.Dir.CensusOf(line) {
+		case coherence.CensusShared:
+			hop := qpiLink.Traverse(now) + qpiLink.Traverse(now)
+			if m.llcServiceable(remote, line) {
+				m.fillRequestor(core, line, false)
+				return PathRemoteLLC, base + hop
+			}
+			m.forwardFromRemote(remote, core, line)
+			return PathRemoteForward, base + hop + lat.ForwardRemote
+		case coherence.CensusOwned:
+			hop := qpiLink.Traverse(now) + qpiLink.Traverse(now)
+			if m.cfg.Mitigations.LLCNotifiedOfEToM && !m.upgraded[line] && m.llcServiceable(remote, line) {
+				m.fillRequestor(core, line, false)
+				return PathRemoteLLC, base + hop
+			}
+			m.forwardFromRemote(remote, core, line)
+			return PathRemoteForward, base + hop + lat.ForwardRemote
+		case coherence.CensusNone:
+			if m.llcServiceable(remote, line) {
+				hop := qpiLink.Traverse(now) + qpiLink.Traverse(now)
+				m.fillRequestor(core, line, false)
+				return PathRemoteLLC, base + hop
+			}
+		}
+	}
+
+	// DRAM. The home agent's directory cache (snoop filter) answers for
+	// lines no other socket has ever cached, so ordinary private-data
+	// misses go straight to memory without QPI traffic. Lines that were
+	// explicitly flushed lose that shortcut: clflush clears the filter
+	// state, so their next fetch performs the full cross-socket snoop —
+	// which is why the spy's flush+reload probe always pays the long
+	// path and lands in a distinct high band.
+	snoop := sim.Cycles(0)
+	if m.needsSnoop(line) {
+		for _, remote := range m.sockets {
+			if remote.ID == core.Socket {
+				continue
+			}
+			l := m.qpi[core.Socket][remote.ID]
+			snoop += l.Traverse(now) + l.Traverse(now)
+		}
+	}
+	if u := m.dram.Utilization(now); u > m.lastUtil {
+		m.lastUtil = u
+	}
+	dramLat := m.dram.Traverse(now)
+	m.fillRequestor(core, line, false)
+	return PathDRAM, base + snoop + dramLat
+}
+
+// exclusiveMoveOut removes a just-served line from an exclusive LLC —
+// exclusion means a line lives in the private caches or the LLC, never
+// both.
+func (m *Machine) exclusiveMoveOut(sock *Socket, line uint64) {
+	if !m.cfg.ExclusiveLLC {
+		return
+	}
+	sock.LLC.Invalidate(line)
+	sock.Dir.InvalidateLLC(line)
+}
+
+// needsSnoop reports whether a memory fetch of line must snoop the other
+// sockets: any remote directory record, or a cleared snoop-filter entry
+// from an explicit flush.
+func (m *Machine) needsSnoop(line uint64) bool {
+	if m.flushEpochs[line] > 0 {
+		return true
+	}
+	for _, s := range m.sockets {
+		if s.Dir.Lookup(line) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// llcServiceable reports whether sock's LLC can answer a read for line
+// with clean data.
+func (m *Machine) llcServiceable(sock *Socket, line uint64) bool {
+	e := sock.Dir.Lookup(line)
+	return e != nil && e.LLCValid && sock.LLC.Contains(line)
+}
+
+// forwardFromLocal runs the owner-forward transaction within requestor's
+// socket: the owner (or a sharer, for the non-inclusive fallback)
+// downgrades, the LLC receives a clean copy, and the requestor fills.
+func (m *Machine) forwardFromLocal(sock *Socket, requestor *Core, line uint64) {
+	m.downgradeOwner(sock, line)
+	m.fillRequestor(requestor, line, true)
+}
+
+// forwardFromRemote is forwardFromLocal across the socket link.
+func (m *Machine) forwardFromRemote(remote *Socket, requestor *Core, line uint64) {
+	m.downgradeOwner(remote, line)
+	m.fillRequestor(requestor, line, true)
+}
+
+// downgradeOwner applies the RemoteRead transition to every private copy
+// in sock (normally exactly one, the owner), leaving a clean copy in
+// sock's LLC when the protocol writes back.
+func (m *Machine) downgradeOwner(sock *Socket, line uint64) {
+	for _, local := range sock.Dir.Sharers(line) {
+		core := sock.Cores[local]
+		for _, pc := range []*cache.Cache{core.L1, core.L2} {
+			st := pc.Probe(line)
+			if !st.Valid() {
+				continue
+			}
+			tr := coherence.Apply(m.cfg.Protocol, st, coherence.RemoteRead)
+			pc.SetState(line, tr.Next)
+			if tr.Action == coherence.SupplyAndWriteBack && !m.cfg.ExclusiveLLC {
+				// Exclusive LLCs never take the downgrade copy; dirty
+				// data goes straight to memory instead.
+				m.installLLC(sock, line)
+			}
+		}
+	}
+	// The owner no longer holds the line exclusively; any recorded
+	// silent-upgrade mark is consumed by the write-back.
+	delete(m.upgraded, line)
+}
+
+// fillRequestor installs line into the requestor's private caches (and
+// the local LLC when inclusive), choosing E when no other cache anywhere
+// holds a copy. fromForward marks fills supplied by a previous owner, in
+// which case the requestor takes S (the supplier retains F/O duty).
+func (m *Machine) fillRequestor(core *Core, line uint64, fromForward bool) {
+	sock := m.sockets[core.Socket]
+	var st coherence.State
+	if fromForward {
+		st = coherence.Shared
+	} else {
+		others := m.globalSharers(line, -1, -1)
+		// An inclusive LLC's own copy coexists with the requestor's E
+		// (the hierarchy always duplicates locally), so only private
+		// copies and *other* sockets' caches block exclusivity.
+		if others == 0 && !m.anyOtherCopy(line, core.Socket) {
+			st = coherence.Exclusive
+		} else {
+			st = coherence.InstallState(m.cfg.Protocol, 1)
+			if st == coherence.Forward {
+				// At most one Forwarder: demote any previous F copy.
+				m.demoteForwarders(line)
+			}
+		}
+	}
+	m.fillPrivate(core, line, st)
+	sock.Dir.AddSharer(line, core.Local)
+	if (m.cfg.InclusiveLLC || fromForward) && !m.cfg.ExclusiveLLC {
+		m.installLLC(sock, line)
+	}
+	if st == coherence.Exclusive {
+		// The LLC cannot distinguish E from M at the owner; record that
+		// the copy may go stale. (Census==1 already forces forwarding in
+		// the unmitigated design; the flag serves the mitigation logic.)
+		sock.Dir.SetOwnerDirty(line)
+	}
+}
+
+// demoteForwarders downgrades any existing F copy of line to S.
+func (m *Machine) demoteForwarders(line uint64) {
+	for _, s := range m.sockets {
+		for _, local := range s.Dir.Sharers(line) {
+			core := s.Cores[local]
+			for _, pc := range []*cache.Cache{core.L1, core.L2} {
+				if pc.Probe(line) == coherence.Forward {
+					pc.SetState(line, coherence.Shared)
+				}
+			}
+		}
+	}
+}
+
+// fillPrivate inserts line into core's L2 then L1, handling evictions.
+func (m *Machine) fillPrivate(core *Core, line uint64, st coherence.State) {
+	if ev, ok := core.L2.Insert(line, st); ok {
+		m.handleL2Evict(core, ev)
+	}
+	m.fillL1(core, line, st)
+}
+
+// fillL1 inserts into L1 only; inclusion makes the victim's L2 copy the
+// surviving one, inheriting dirtiness.
+func (m *Machine) fillL1(core *Core, line uint64, st coherence.State) {
+	if ev, ok := core.L1.Insert(line, st); ok {
+		if ev.State.Dirty() {
+			core.L2.SetState(ev.Addr, ev.State)
+		}
+	}
+}
+
+// handleL2Evict processes a victim leaving core's L2: back-invalidate the
+// L1 copy (L1 ⊆ L2), write dirty data back to the LLC, and update the
+// directory.
+func (m *Machine) handleL2Evict(core *Core, ev cache.Evicted) {
+	st := ev.State
+	if l1 := core.L1.Invalidate(ev.Addr); l1.Dirty() {
+		st = l1
+	}
+	sock := m.sockets[core.Socket]
+	if st.Dirty() || m.cfg.ExclusiveLLC {
+		// Dirty victims write back to the LLC; an exclusive (victim)
+		// LLC additionally captures clean victims.
+		m.installLLC(sock, ev.Addr)
+	}
+	sock.Dir.RemoveSharer(ev.Addr, core.Local)
+	delete(m.upgraded, ev.Addr)
+}
+
+// installLLC places a clean copy of line in sock's LLC and marks the
+// directory, handling any LLC eviction (with back-invalidation when the
+// LLC is inclusive).
+func (m *Machine) installLLC(sock *Socket, line uint64) {
+	if ev, ok := sock.LLC.Insert(line, coherence.Shared); ok {
+		m.handleLLCEvict(sock, ev)
+	}
+	sock.Dir.MarkClean(line)
+}
+
+// handleLLCEvict processes a victim leaving sock's LLC.
+func (m *Machine) handleLLCEvict(sock *Socket, ev cache.Evicted) {
+	if m.cfg.InclusiveLLC {
+		// Inclusion forces the private copies out too.
+		evictedPrivate := false
+		for _, local := range sock.Dir.Sharers(ev.Addr) {
+			core := sock.Cores[local]
+			core.L1.Invalidate(ev.Addr)
+			core.L2.Invalidate(ev.Addr)
+			sock.Dir.RemoveSharer(ev.Addr, local)
+			evictedPrivate = true
+		}
+		delete(m.upgraded, ev.Addr)
+		if evictedPrivate {
+			m.evictEpochs[ev.Addr]++
+		}
+	}
+	sock.Dir.InvalidateLLC(ev.Addr)
+}
+
+// Store performs a timed write to addr by core g on behalf of thread t.
+func (m *Machine) Store(t *sim.Thread, g int, addr uint64) Access {
+	a := m.store(t, g, addr)
+	m.emit(t, g, addr, "store", a)
+	return a
+}
+
+func (m *Machine) store(t *sim.Thread, g int, addr uint64) Access {
+	core := m.Core(g)
+	line := cache.LineAddr(addr)
+	lat := m.cfg.Latencies
+	m.Stats.Stores++
+	walk := m.tlbPenalty(g, addr)
+	sock := m.sockets[core.Socket]
+
+	st := m.ProbeState(g, line)
+	switch st {
+	case coherence.Modified:
+		return m.finish(t, line, PathL1, lat.StoreHit+walk)
+	case coherence.Exclusive:
+		// Silent E->M upgrade: no bus traffic, which is why the LLC must
+		// conservatively forward census==1 misses. The mitigation makes
+		// this upgrade visible.
+		core.L1.SetState(line, coherence.Modified)
+		core.L2.SetState(line, coherence.Modified)
+		m.upgraded[line] = true
+		if m.cfg.Mitigations.LLCNotifiedOfEToM {
+			sock.Dir.SetOwnerDirty(line)
+		}
+		return m.finish(t, line, PathL1, lat.StoreHit+walk)
+	}
+
+	// RFO: fetch (if missing) and invalidate every other copy.
+	var path Path
+	var base sim.Cycles
+	if st.Valid() {
+		// Upgrade from S/F/O: data already present, pay invalidation.
+		path, base = PathLocalLLC, lat.MissBase+sock.Ring.Traverse(t.Now())+sock.Ring.Traverse(t.Now())+lat.LLCService
+	} else {
+		path, base = m.missPath(t.Now(), core, line)
+	}
+	m.invalidateOthers(core, line)
+	m.fillPrivate(core, line, coherence.Modified)
+	sock.Dir.AddSharer(line, core.Local)
+	sock.Dir.SetOwnerDirty(line)
+	m.upgraded[line] = true
+	// Every LLC copy is now stale.
+	for _, s := range m.sockets {
+		if e := s.Dir.Lookup(line); e != nil {
+			e.LLCValid = false
+		}
+	}
+	return m.finish(t, line, path, base+lat.RFOOverhead+walk)
+}
+
+// invalidateOthers applies RemoteWrite to every copy of line outside the
+// requesting core.
+func (m *Machine) invalidateOthers(requestor *Core, line uint64) {
+	for _, s := range m.sockets {
+		for _, local := range s.Dir.Sharers(line) {
+			if s.ID == requestor.Socket && local == requestor.Local {
+				continue
+			}
+			core := s.Cores[local]
+			core.L1.Invalidate(line)
+			core.L2.Invalidate(line)
+			s.Dir.RemoveSharer(line, local)
+		}
+	}
+}
+
+// Flush performs a clflush-equivalent: every cached copy of addr's line in
+// every socket is invalidated, dirty data is written back, and the
+// directory forgets the line. Any core may flush any address (the paper's
+// spy flushes read-only shared pages).
+func (m *Machine) Flush(t *sim.Thread, g int, addr uint64) Access {
+	a := m.flushLine(t, g, addr)
+	m.emit(t, g, addr, "flush", a)
+	return a
+}
+
+func (m *Machine) flushLine(t *sim.Thread, g int, addr uint64) Access {
+	line := cache.LineAddr(addr)
+	lat := m.cfg.Latencies
+	m.Stats.Flushes++
+	m.flushEpochs[line]++
+	m.recordFlushPressure(line, t.Now())
+	dirty := false
+	for _, s := range m.sockets {
+		for _, local := range s.Dir.Sharers(line) {
+			core := s.Cores[local]
+			if core.L1.Invalidate(line).Dirty() {
+				dirty = true
+			}
+			if core.L2.Invalidate(line).Dirty() {
+				dirty = true
+			}
+			s.Dir.RemoveSharer(line, local)
+		}
+		s.LLC.Invalidate(line)
+		s.Dir.Clear(line)
+	}
+	delete(m.upgraded, line)
+	base := lat.FlushBase
+	if dirty {
+		base += lat.FlushDirty
+	}
+	return m.finishRecorded(t, line, PathDRAM, base, false)
+}
+
+// recordFlushPressure updates the probe-pressure estimate for line from
+// the interval since its previous flush: pressure = (Tref/interval)^2,
+// EWMA-smoothed. Short intervals (fast probing) build pressure; idle
+// lines decay toward zero.
+func (m *Machine) recordFlushPressure(line uint64, now sim.Cycles) {
+	last, seen := m.lastFlush[line]
+	m.lastFlush[line] = now
+	if !seen {
+		return
+	}
+	interval := float64(now-last) + 64
+	r := pressureRefCycles / interval
+	instant := r * r * r * r // quartic: pressure onsets sharply below Tref
+	if instant > 6 {
+		instant = 6 // saturation: queues are finite
+	}
+	m.pressure[line] = 0.5*m.pressure[line] + 0.5*instant
+}
+
+// pressureJitterWidth returns the extra triangular-jitter half-width for
+// a miss on line serviced via path p. Longer service paths cross more
+// queues, so pressure widens them more — the asymmetry §VIII-C observes
+// (remote E-state latencies vary most under load).
+func (m *Machine) pressureJitterWidth(line uint64, p Path) int64 {
+	jc := m.cfg.Latencies.ProbePressureJitter
+	if jc <= 0 || p <= PathL2 {
+		return 0
+	}
+	factor := 1.0
+	switch p {
+	case PathRemoteLLC:
+		factor = 1.3
+	case PathRemoteForward:
+		factor = 1.6
+	case PathDRAM:
+		factor = 1.8
+	}
+	// Interconnect contention multiplies the probe's self-pressure:
+	// deep queues turn the high-frequency probe's bursts into much
+	// larger latency swings, which is how co-located memory-intensive
+	// workloads degrade fast channels while leaving slow (rate-adapted)
+	// ones nearly untouched (§VIII-C vs. Figure 10).
+	contention := 1 + 6*m.lastUtil
+	return int64(jc * m.pressure[line] * factor * contention)
+}
+
+// finish applies jitter (base plus probe pressure), advances the thread
+// and records the service path. Flushes pass record=false so ByPath
+// reflects loads and stores only.
+func (m *Machine) finish(t *sim.Thread, line uint64, p Path, base sim.Cycles) Access {
+	return m.finishRecorded(t, line, p, base, true)
+}
+
+func (m *Machine) finishRecorded(t *sim.Thread, line uint64, p Path, base sim.Cycles, record bool) Access {
+	total := int64(base) + m.rng.Jitter(m.cfg.Latencies.Jitter)
+	if w := m.pressureJitterWidth(line, p); w > 0 {
+		total += m.rng.Jitter(w)
+	}
+	if total < 1 {
+		total = 1
+	}
+	a := Access{Latency: sim.Cycles(total), Path: p}
+	if record {
+		m.Stats.ByPath[p]++
+	}
+	t.Advance(a.Latency)
+	return a
+}
+
+// PathCount returns how many loads were serviced by path p.
+func (s *MachineStats) PathCount(p Path) uint64 { return s.ByPath[p] }
+
+// String summarizes the counters.
+func (s *MachineStats) String() string {
+	out := fmt.Sprintf("loads=%d stores=%d flushes=%d", s.Loads, s.Stores, s.Flushes)
+	for p := 0; p < pathCount; p++ {
+		if s.ByPath[p] > 0 {
+			out += fmt.Sprintf(" %s=%d", Path(p), s.ByPath[p])
+		}
+	}
+	return out
+}
+
+// emit delivers one completed operation to the observer hook.
+func (m *Machine) emit(t *sim.Thread, g int, addr uint64, op string, a Access) {
+	if m.onAccess == nil {
+		return
+	}
+	m.onAccess(AccessEvent{
+		Cycle:   t.Now(),
+		Thread:  t.ID(),
+		Core:    g,
+		Line:    cache.LineAddr(addr),
+		Op:      op,
+		Path:    a.Path,
+		Latency: a.Latency,
+	})
+}

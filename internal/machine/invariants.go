@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"fmt"
+
+	"coherentleak/internal/cache"
+	"coherentleak/internal/coherence"
+)
+
+// CheckInvariants validates the machine-wide coherence invariants for
+// the given line and returns the first violation found, or nil. It is an
+// O(cores) debugging/verification observer used by the property tests
+// after every operation; production paths never call it.
+//
+// Invariants checked (the SWMR and bookkeeping properties of Sorin, Hill
+// & Wood, adapted to the two-level-private + shared-LLC hierarchy):
+//
+//  1. Single writer: at most one core holds the line in a writable state
+//     (M, or E which can silently upgrade), and if one does, no other
+//     core holds any valid copy.
+//  2. Dirty uniqueness: at most one dirty (M/O) copy exists globally.
+//  3. Directory accuracy: a socket's sharer bit for a core is set iff
+//     that core's L1 or L2 holds a valid copy.
+//  4. L1 inclusion: every valid L1 line is also valid in the same
+//     core's L2 with a compatible (equal-or-stronger in L2? equal) tag
+//     presence.
+//  5. LLC inclusion (inclusive mode): every valid private copy is also
+//     present in its socket's LLC.
+//  6. LLC exclusion (exclusive mode): no line is simultaneously valid in
+//     a socket's LLC and any of that socket's private caches.
+//  7. Protocol state legality: every cached state belongs to the
+//     configured protocol.
+func (m *Machine) CheckInvariants(addr uint64) error {
+	line := cache.LineAddr(addr)
+
+	type holder struct {
+		core  *Core
+		state coherence.State
+	}
+	var holders []holder
+	dirty := 0
+	writers := 0
+
+	for _, sock := range m.sockets {
+		for _, core := range sock.Cores {
+			l1 := core.L1.Probe(line)
+			l2 := core.L2.Probe(line)
+
+			// Invariant 7: protocol legality.
+			for _, st := range []coherence.State{l1, l2} {
+				if st.Valid() && !m.cfg.Protocol.Has(st) {
+					return fmt.Errorf("core %d holds %v, illegal under %v", core.Global, st, m.cfg.Protocol)
+				}
+			}
+			// Invariant 4: L1 ⊆ L2.
+			if l1.Valid() && !l2.Valid() {
+				return fmt.Errorf("core %d: line %#x in L1 (%v) but not L2", core.Global, line, l1)
+			}
+
+			st := l1
+			if !st.Valid() {
+				st = l2
+			}
+			if st.Valid() {
+				holders = append(holders, holder{core, st})
+				if st.Dirty() {
+					dirty++
+				}
+				if st.Writable() {
+					writers++
+				}
+			}
+
+			// Invariant 3: directory accuracy.
+			inDir := sock.Dir.IsSharer(line, core.Local)
+			if st.Valid() != inDir {
+				return fmt.Errorf("core %d: presence=%v but directory sharer bit=%v", core.Global, st.Valid(), inDir)
+			}
+		}
+
+		llcHas := sock.LLC.Contains(line)
+		privInSocket := 0
+		for _, core := range sock.Cores {
+			if m.ProbeState(core.Global, line).Valid() {
+				privInSocket++
+			}
+		}
+		// Invariant 5: inclusive LLC.
+		if m.cfg.InclusiveLLC && privInSocket > 0 && !llcHas {
+			return fmt.Errorf("socket %d: %d private copies of %#x without an LLC copy (inclusion violated)", sock.ID, privInSocket, line)
+		}
+		// Invariant 6: exclusive LLC.
+		if m.cfg.ExclusiveLLC && privInSocket > 0 && llcHas {
+			return fmt.Errorf("socket %d: line %#x in both LLC and private caches (exclusion violated)", sock.ID, line)
+		}
+	}
+
+	// Invariant 2: dirty uniqueness.
+	if dirty > 1 {
+		return fmt.Errorf("line %#x has %d dirty copies", line, dirty)
+	}
+	// Invariant 1: single writer implies sole copy.
+	if writers > 1 {
+		return fmt.Errorf("line %#x has %d writable copies", line, writers)
+	}
+	if writers == 1 && len(holders) > 1 {
+		writer := holders[0]
+		for _, h := range holders {
+			if h.state.Writable() {
+				writer = h
+				break
+			}
+		}
+		return fmt.Errorf("line %#x writable at core %d but %d total copies exist",
+			line, writer.core.Global, len(holders))
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coherentleak/internal/coherence"
+	"coherentleak/internal/sim"
+)
+
+// fuzzOps drives a random operation sequence over a small line pool and
+// checks every invariant after every operation.
+func fuzzOps(t *testing.T, cfg Config, seed uint64, ops []uint16) bool {
+	t.Helper()
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	m := New(w, cfg)
+	lines := []uint64{0x1000, 0x2000, 0x3000, 0x1000 + 64*uint64(cfg.LLC.Sets()), 0x40}
+	okAll := true
+	w.Spawn("fuzz", func(th *sim.Thread) {
+		for _, op := range ops {
+			core := int(op) % m.Cores()
+			line := lines[int(op>>4)%len(lines)]
+			switch (op >> 8) % 4 {
+			case 0, 1:
+				m.Load(th, core, line)
+			case 2:
+				m.Store(th, core, line)
+			case 3:
+				m.Flush(th, core, line)
+			}
+			for _, l := range lines {
+				if err := m.CheckInvariants(l); err != nil {
+					t.Logf("after op %#x: %v", op, err)
+					okAll = false
+					return
+				}
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return okAll
+}
+
+// Property: every coherence invariant holds after every operation of any
+// random load/store/flush interleaving, on the default machine.
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed uint16, ops []uint16) bool {
+		if len(ops) > 300 {
+			ops = ops[:300]
+		}
+		return fuzzOps(t, DefaultConfig(), uint64(seed)+1, ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The same property across the protocol variants and LLC policies, with
+// tiny caches so evictions and back-invalidations fire constantly.
+func TestInvariantsAcrossVariants(t *testing.T) {
+	variants := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"MESI-small", func() Config {
+			c := SmallConfig()
+			c.Protocol = coherence.MESI
+			return c
+		}},
+		{"MOESI-small", func() Config {
+			c := SmallConfig()
+			c.Protocol = coherence.MOESI
+			return c
+		}},
+		{"non-inclusive", func() Config {
+			c := SmallConfig()
+			c.InclusiveLLC = false
+			return c
+		}},
+		{"exclusive", func() Config {
+			c := SmallConfig()
+			c.InclusiveLLC = false
+			c.ExclusiveLLC = true
+			return c
+		}},
+		{"snoop-bus", func() Config {
+			c := SmallConfig()
+			c.SnoopBus = true
+			return c
+		}},
+		{"single-socket", func() Config {
+			c := SmallConfig()
+			c.Sockets = 1
+			return c
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			f := func(seed uint16, ops []uint16) bool {
+				if len(ops) > 200 {
+					ops = ops[:200]
+				}
+				return fuzzOps(t, v.cfg(), uint64(seed)+3, ops)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Directed invariant checks at the interesting transitions.
+func TestInvariantsAtKeyTransitions(t *testing.T) {
+	runOn(t, DefaultConfig(), func(th *sim.Thread, m *Machine) {
+		check := func(stage string) {
+			t.Helper()
+			if err := m.CheckInvariants(addrB); err != nil {
+				t.Fatalf("%s: %v", stage, err)
+			}
+		}
+		m.Load(th, 0, addrB) // E
+		check("after E fill")
+		m.Store(th, 0, addrB) // silent E->M
+		check("after silent upgrade")
+		m.Load(th, 6, addrB) // remote read of M: downgrade + writeback
+		check("after remote read of M")
+		m.Store(th, 6, addrB) // RFO across sockets
+		check("after cross-socket RFO")
+		m.Flush(th, 3, addrB)
+		check("after flush")
+	})
+}

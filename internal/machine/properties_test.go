@@ -1,0 +1,164 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coherentleak/internal/coherence"
+	"coherentleak/internal/sim"
+)
+
+// Property: after a flush, the next load of that line always comes from
+// DRAM, no matter what history preceded it.
+func TestLoadAfterFlushIsAlwaysDRAM(t *testing.T) {
+	f := func(ops []uint16) bool {
+		if len(ops) > 100 {
+			ops = ops[:100]
+		}
+		w := sim.NewWorld(sim.Config{Seed: 5})
+		m := New(w, DefaultConfig())
+		ok := true
+		w.Spawn("t", func(th *sim.Thread) {
+			for _, op := range ops {
+				core := int(op) % m.Cores()
+				switch (op >> 8) % 3 {
+				case 0:
+					m.Load(th, core, addrB)
+				case 1:
+					m.Store(th, core, addrB)
+				case 2:
+					m.Flush(th, core, addrB)
+				}
+			}
+			m.Flush(th, 0, addrB)
+			if a := m.Load(th, 0, addrB); a.Path != PathDRAM {
+				ok = false
+			}
+		})
+		if err := w.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flush is idempotent for state — a second flush finds nothing
+// dirty and leaves the same (empty) state.
+func TestFlushIdempotent(t *testing.T) {
+	runOn(t, DefaultConfig(), func(th *sim.Thread, m *Machine) {
+		m.Load(th, 0, addrB)
+		m.Store(th, 0, addrB)
+		first := m.Flush(th, 1, addrB)
+		second := m.Flush(th, 1, addrB)
+		// The first flush pays the dirty write-back; the second must not.
+		if second.Latency >= first.Latency {
+			t.Errorf("second flush (%d) not cheaper than dirty flush (%d)",
+				second.Latency, first.Latency)
+		}
+		for g := 0; g < m.Cores(); g++ {
+			if m.ProbeState(g, addrB).Valid() {
+				t.Fatalf("core %d holds a copy after double flush", g)
+			}
+		}
+	})
+}
+
+// Property: a store immediately makes the line writable at the writer
+// and invisible everywhere else, for any prior sharer set.
+func TestStoreSerializesOwnership(t *testing.T) {
+	f := func(sharerMask uint16, writer uint8) bool {
+		w := sim.NewWorld(sim.Config{Seed: 9})
+		m := New(w, DefaultConfig())
+		wcore := int(writer) % m.Cores()
+		ok := true
+		w.Spawn("t", func(th *sim.Thread) {
+			for c := 0; c < m.Cores(); c++ {
+				if sharerMask&(1<<uint(c)) != 0 {
+					m.Load(th, c, addrB)
+				}
+			}
+			m.Store(th, wcore, addrB)
+			if m.ProbeState(wcore, addrB) != coherence.Modified {
+				ok = false
+			}
+			for c := 0; c < m.Cores(); c++ {
+				if c != wcore && m.ProbeState(c, addrB).Valid() {
+					ok = false
+				}
+			}
+			// And the writer's next load is an L1 hit.
+			if a := m.Load(th, wcore, addrB); a.Path != PathL1 {
+				ok = false
+			}
+		})
+		if err := w.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: load latency depends only on the (service path, contention)
+// state, never on which core issues it within the same socket position —
+// symmetric cores are interchangeable.
+func TestCoreSymmetry(t *testing.T) {
+	measure := func(owner, spyCore int) sim.Cycles {
+		w := sim.NewWorld(sim.Config{Seed: 31})
+		m := New(w, DefaultConfig())
+		var lat sim.Cycles
+		w.Spawn("t", func(th *sim.Thread) {
+			m.Load(th, spyCore, addrB+64) // TLB warm
+			m.Flush(th, spyCore, addrB)
+			m.Load(th, owner, addrB)
+			th.Advance(4000)
+			lat = m.Load(th, spyCore, addrB).Latency
+		})
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return lat
+	}
+	// Owner on cores 1..5 (same socket as spy core 0): identical band.
+	base := measure(1, 0)
+	for owner := 2; owner <= 5; owner++ {
+		got := measure(owner, 0)
+		diff := int64(got) - int64(base)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 2*DefaultConfig().Latencies.Jitter+2 {
+			t.Errorf("owner core %d: latency %d vs %d", owner, got, base)
+		}
+	}
+}
+
+// Property: the DRAM path cost is monotone in topology — a 2-socket
+// machine's flushed-line fetch costs at least a 1-socket machine's.
+func TestDRAMPathMonotoneInSockets(t *testing.T) {
+	measure := func(sockets int) sim.Cycles {
+		cfg := DefaultConfig()
+		cfg.Sockets = sockets
+		w := sim.NewWorld(sim.Config{Seed: 13})
+		m := New(w, cfg)
+		var lat sim.Cycles
+		w.Spawn("t", func(th *sim.Thread) {
+			m.Load(th, 0, addrB+64)
+			m.Flush(th, 0, addrB)
+			lat = m.Load(th, 0, addrB).Latency
+		})
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return lat
+	}
+	one, two := measure(1), measure(2)
+	if two <= one {
+		t.Fatalf("2-socket flushed fetch (%d) not above 1-socket (%d): missing snoop cost", two, one)
+	}
+}

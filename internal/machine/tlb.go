@@ -1,0 +1,74 @@
+package machine
+
+import (
+	"coherentleak/internal/sim"
+)
+
+// tlb is a per-core, fully-associative translation lookaside buffer over
+// line addresses' pages. The simulator's kernel layer translates
+// addresses before the machine sees them, so the TLB here models only
+// the *timing* of translation: a miss charges the page-walk latency.
+// The attack itself is insensitive to it (the probe line's page is
+// always hot), but background workloads with large working sets pay
+// realistic extra latency, and the first-touch cost shows up in traces.
+type tlb struct {
+	entries map[uint64]uint64 // page number -> recency stamp
+	clock   uint64
+	size    int
+
+	// Stats
+	hits, misses uint64
+}
+
+func newTLB(size int) *tlb {
+	if size <= 0 {
+		size = 64
+	}
+	return &tlb{entries: make(map[uint64]uint64, size), size: size}
+}
+
+// access touches the TLB for addr and reports whether it missed.
+func (t *tlb) access(addr uint64) bool {
+	page := addr >> 12
+	t.clock++
+	if _, ok := t.entries[page]; ok {
+		t.entries[page] = t.clock
+		t.hits++
+		return false
+	}
+	t.misses++
+	if len(t.entries) >= t.size {
+		// Evict the least recently used entry.
+		var victim uint64
+		best := ^uint64(0)
+		for p, stamp := range t.entries {
+			if stamp < best {
+				best, victim = stamp, p
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.entries[page] = t.clock
+	return true
+}
+
+// tlbPenalty charges the page walk for a memory operation by core g and
+// returns the extra cycles.
+func (m *Machine) tlbPenalty(g int, addr uint64) sim.Cycles {
+	if m.cfg.Latencies.PageWalk == 0 || m.cfg.TLBEntries == 0 {
+		return 0
+	}
+	if m.tlbs[g].access(addr) {
+		return m.cfg.Latencies.PageWalk
+	}
+	return 0
+}
+
+// TLBStats returns (hits, misses) for core g's TLB.
+func (m *Machine) TLBStats(g int) (uint64, uint64) {
+	t := m.tlbs[g]
+	if t == nil {
+		return 0, 0
+	}
+	return t.hits, t.misses
+}

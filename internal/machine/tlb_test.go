@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"testing"
+
+	"coherentleak/internal/sim"
+)
+
+func TestTLBFirstTouchPaysPageWalk(t *testing.T) {
+	runOn(t, DefaultConfig(), func(th *sim.Thread, m *Machine) {
+		// Flush first so both loads take the identical post-flush DRAM
+		// path (including the cross-socket snoop); only the TLB differs.
+		m.Flush(th, 0, addrB)
+		cold := m.Load(th, 0, addrB)
+		m.Flush(th, 0, addrB)
+		warm := m.Load(th, 0, addrB) // same DRAM path, TLB now hot
+		walk := m.Config().Latencies.PageWalk
+		diff := int64(cold.Latency) - int64(warm.Latency)
+		slop := 2*m.Config().Latencies.Jitter + 6
+		if diff < int64(walk)-slop || diff > int64(walk)+slop {
+			t.Errorf("cold-warm gap = %d, want ~%d (page walk)", diff, walk)
+		}
+	})
+}
+
+func TestTLBIsPerCore(t *testing.T) {
+	runOn(t, DefaultConfig(), func(th *sim.Thread, m *Machine) {
+		m.Load(th, 0, addrB)
+		h0, m0 := m.TLBStats(0)
+		h1, m1 := m.TLBStats(1)
+		if m0 != 1 || h0 != 0 {
+			t.Fatalf("core 0 TLB stats = %d/%d", h0, m0)
+		}
+		if m1 != 0 || h1 != 0 {
+			t.Fatalf("core 1 TLB touched: %d/%d", h1, m1)
+		}
+		// Core 1's own first access misses its own TLB.
+		m.Load(th, 1, addrB)
+		if _, misses := m.TLBStats(1); misses != 1 {
+			t.Fatal("core 1 first touch did not miss its TLB")
+		}
+	})
+}
+
+func TestTLBCapacityEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TLBEntries = 4
+	runOn(t, cfg, func(th *sim.Thread, m *Machine) {
+		// Touch 5 distinct pages, then re-touch the first: it must miss.
+		for p := uint64(0); p < 5; p++ {
+			m.Load(th, 0, 0x100000+p*4096)
+		}
+		_, before := m.TLBStats(0)
+		m.Load(th, 0, 0x100000) // page 0 was LRU-evicted
+		if _, after := m.TLBStats(0); after != before+1 {
+			t.Fatalf("re-touch of evicted page did not miss (misses %d -> %d)", before, after)
+		}
+		// The most recent page is still resident.
+		h, _ := m.TLBStats(0)
+		m.Load(th, 0, 0x100000+4*4096+64)
+		if h2, _ := m.TLBStats(0); h2 != h+1 {
+			t.Fatal("recent page not resident")
+		}
+	})
+}
+
+func TestTLBDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TLBEntries = 0
+	runOn(t, cfg, func(th *sim.Thread, m *Machine) {
+		a := m.Load(th, 0, addrB)
+		// No page-walk component: the cold DRAM load sits in the plain
+		// DRAM band.
+		if a.Latency > 380 {
+			t.Fatalf("TLB-disabled cold load = %d", a.Latency)
+		}
+		if h, miss := m.TLBStats(0); h != 0 || miss != 0 {
+			t.Fatal("disabled TLB accumulated stats")
+		}
+	})
+}
+
+// The attack is TLB-insensitive: the probe page is hot after the first
+// period, so bands keep their centers.
+func TestTLBDoesNotShiftBands(t *testing.T) {
+	runOn(t, DefaultConfig(), func(th *sim.Thread, m *Machine) {
+		m.Load(th, 0, addrB+64) // warm
+		var sum sim.Cycles
+		const n = 50
+		for i := 0; i < n; i++ {
+			m.Flush(th, 0, addrB)
+			m.Load(th, 1, addrB)
+			m.Load(th, 2, addrB)
+			th.Advance(4000)
+			sum += m.Load(th, 0, addrB).Latency
+		}
+		mean := sum / n
+		if mean < 90 || mean > 106 {
+			t.Fatalf("local-S mean with TLB = %d, want ~98", mean)
+		}
+	})
+}

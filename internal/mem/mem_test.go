@@ -1,0 +1,208 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocReleaseLifecycle(t *testing.T) {
+	m := New(0)
+	f, err := m.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Refs() != 1 {
+		t.Fatalf("fresh frame refs = %d", f.Refs())
+	}
+	if f.Number == 0 {
+		t.Fatal("frame 0 must stay reserved")
+	}
+	if m.Allocated != 1 {
+		t.Fatal("Allocated not tracked")
+	}
+	m.Release(f)
+	if m.Allocated != 0 || m.Get(f.Number) != nil {
+		t.Fatal("release did not free")
+	}
+}
+
+func TestReleaseDeadFramePanics(t *testing.T) {
+	m := New(0)
+	f, _ := m.Alloc()
+	m.Release(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	m.Release(f)
+}
+
+func TestCapacityLimit(t *testing.T) {
+	m := New(2)
+	a, _ := m.Alloc()
+	if _, err := m.Alloc(); err != nil {
+		t.Fatal("second alloc failed under capacity 2")
+	}
+	if _, err := m.Alloc(); err == nil {
+		t.Fatal("third alloc succeeded past capacity")
+	}
+	m.Release(a)
+	if _, err := m.Alloc(); err != nil {
+		t.Fatal("alloc after release failed")
+	}
+}
+
+func TestFrameNumberReuse(t *testing.T) {
+	m := New(0)
+	f, _ := m.Alloc()
+	n := f.Number
+	m.Release(f)
+	g, _ := m.Alloc()
+	if g.Number != n {
+		t.Fatalf("freed frame %d not reused (got %d)", n, g.Number)
+	}
+}
+
+func TestRefCounting(t *testing.T) {
+	m := New(0)
+	f, _ := m.Alloc()
+	m.AddRef(f)
+	m.AddRef(f)
+	if f.Refs() != 3 {
+		t.Fatalf("refs = %d, want 3", f.Refs())
+	}
+	m.Release(f)
+	m.Release(f)
+	if m.Get(f.Number) == nil {
+		t.Fatal("frame freed while referenced")
+	}
+	m.Release(f)
+	if m.Get(f.Number) != nil {
+		t.Fatal("frame survives final release")
+	}
+}
+
+func TestFrameOfAndBase(t *testing.T) {
+	m := New(0)
+	f, _ := m.Alloc()
+	if m.FrameOf(f.Base()) != f || m.FrameOf(f.Base()+PageSize-1) != f {
+		t.Fatal("FrameOf wrong inside frame")
+	}
+	if m.FrameOf(f.Base()+PageSize) == f {
+		t.Fatal("FrameOf wrong past frame end")
+	}
+}
+
+func TestContentHashZeroPage(t *testing.T) {
+	m := New(0)
+	a, _ := m.Alloc()
+	b, _ := m.Alloc()
+	if a.ContentHash() != b.ContentHash() {
+		t.Fatal("two untouched pages hash differently")
+	}
+	// Forcing zero bytes explicitly must hash the same as untouched.
+	_ = b.Data()
+	if a.ContentHash() != b.ContentHash() {
+		t.Fatal("explicit zero page hashes differently from untouched")
+	}
+	copy(a.Data(), []byte("x"))
+	if a.ContentHash() == b.ContentHash() {
+		t.Fatal("distinct contents hash equal")
+	}
+}
+
+func TestSameContents(t *testing.T) {
+	m := New(0)
+	a, _ := m.Alloc()
+	b, _ := m.Alloc()
+	if !a.SameContents(b) {
+		t.Fatal("untouched pages differ")
+	}
+	copy(a.Data(), []byte("hello"))
+	if a.SameContents(b) {
+		t.Fatal("written page equals zero page")
+	}
+	copy(b.Data(), []byte("hello"))
+	if !a.SameContents(b) {
+		t.Fatal("identical pages differ")
+	}
+	// nil-vs-allocated-zero symmetry
+	c, _ := m.Alloc()
+	d, _ := m.Alloc()
+	_ = d.Data()
+	if !c.SameContents(d) || !d.SameContents(c) {
+		t.Fatal("nil vs zeroed asymmetry")
+	}
+}
+
+func TestCopyFrame(t *testing.T) {
+	m := New(0)
+	src, _ := m.Alloc()
+	copy(src.Data(), []byte("secret"))
+	dst, err := m.CopyFrame(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.SameContents(dst) {
+		t.Fatal("copy contents differ")
+	}
+	dst.Data()[0] = 'X'
+	if src.SameContents(dst) {
+		t.Fatal("copy aliases source")
+	}
+	if dst.Refs() != 1 {
+		t.Fatal("copy refs wrong")
+	}
+}
+
+// Property: ContentHash agrees with SameContents on equality.
+func TestHashConsistentWithEquality(t *testing.T) {
+	m := New(0)
+	f := func(a, b []byte) bool {
+		fa, _ := m.Alloc()
+		fb, _ := m.Alloc()
+		copy(fa.Data(), a)
+		copy(fb.Data(), b)
+		same := fa.SameContents(fb)
+		hashEq := fa.ContentHash() == fb.ContentHash()
+		m.Release(fa)
+		m.Release(fb)
+		if same && !hashEq {
+			return false // equal contents must hash equal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Allocated equals live frame count under arbitrary alloc /
+// release interleavings.
+func TestAllocatedInvariant(t *testing.T) {
+	f := func(ops []bool) bool {
+		m := New(0)
+		var live []*Frame
+		for _, alloc := range ops {
+			if alloc || len(live) == 0 {
+				fr, err := m.Alloc()
+				if err != nil {
+					return false
+				}
+				live = append(live, fr)
+			} else {
+				fr := live[len(live)-1]
+				live = live[:len(live)-1]
+				m.Release(fr)
+			}
+			if m.Allocated != len(live) || len(m.LiveFrames()) != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

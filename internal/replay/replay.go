@@ -1,0 +1,157 @@
+// Package replay persists transmission results as versioned JSON so
+// experiment artifacts can be archived, diffed across code revisions,
+// and re-analyzed without re-running the simulator. The schema is a
+// deliberate DTO — bit strings as "0101…" text, bands as named entries —
+// rather than a dump of internal structs, so saved records stay readable
+// as the implementation evolves.
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"coherentleak/internal/covert"
+	"coherentleak/internal/stats"
+)
+
+// SchemaVersion identifies the record layout.
+const SchemaVersion = 1
+
+// Record is the archived form of one transmission.
+type Record struct {
+	Version  int    `json:"version"`
+	Scenario string `json:"scenario"`
+
+	Params struct {
+		C1          int    `json:"c1"`
+		C0          int    `json:"c0"`
+		Cb          int    `json:"cb"`
+		Ts          uint64 `json:"ts"`
+		SyncPeriods int    `json:"syncPeriods"`
+		Probe       string `json:"probe"`
+	} `json:"params"`
+
+	TxBits string `json:"txBits"`
+	RxBits string `json:"rxBits"`
+
+	Accuracy   float64 `json:"accuracy"`
+	RawKbps    float64 `json:"rawKbps"`
+	Duration   uint64  `json:"durationCycles"`
+	SyncCycles uint64  `json:"syncCycles"`
+	Synced     bool    `json:"synced"`
+
+	Bands []BandRecord `json:"bands"`
+
+	Samples []SampleRecord `json:"samples,omitempty"`
+}
+
+// BandRecord is one calibrated band.
+type BandRecord struct {
+	Name   string  `json:"name"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Center float64 `json:"center"`
+}
+
+// SampleRecord is one spy observation.
+type SampleRecord struct {
+	Cycle   uint64 `json:"cycle"`
+	Latency uint64 `json:"latency"`
+	Class   string `json:"class"`
+}
+
+// FromResult converts a transmission result. includeSamples controls
+// whether the (possibly large) reception trace is archived.
+func FromResult(res *covert.Result, includeSamples bool) *Record {
+	r := &Record{
+		Version:    SchemaVersion,
+		Scenario:   res.Scenario.Name(),
+		TxBits:     bitsToString(res.TxBits),
+		RxBits:     bitsToString(res.RxBits),
+		Accuracy:   res.Accuracy,
+		RawKbps:    res.RawKbps,
+		Duration:   res.Duration,
+		SyncCycles: res.SyncCycles,
+		Synced:     res.Synced,
+	}
+	r.Params.C1, r.Params.C0, r.Params.Cb = res.Params.C1, res.Params.C0, res.Params.Cb
+	r.Params.Ts = res.Params.Ts
+	r.Params.SyncPeriods = res.Params.SyncPeriods
+	r.Params.Probe = res.Params.Probe.String()
+
+	for _, pl := range covert.AllPlacements {
+		if b, ok := res.Bands.ByPlacement[pl]; ok {
+			r.Bands = append(r.Bands, BandRecord{Name: pl.String(), Lo: b.Lo, Hi: b.Hi, Center: b.Center})
+		}
+	}
+	r.Bands = append(r.Bands, BandRecord{Name: "DRAM", Lo: res.Bands.DRAM.Lo, Hi: res.Bands.DRAM.Hi, Center: res.Bands.DRAM.Center})
+	sort.Slice(r.Bands, func(i, j int) bool { return r.Bands[i].Center < r.Bands[j].Center })
+
+	if includeSamples {
+		for _, s := range res.Samples {
+			r.Samples = append(r.Samples, SampleRecord{
+				Cycle:   s.Cycle,
+				Latency: s.Latency,
+				Class:   s.Class.String(),
+			})
+		}
+	}
+	return r
+}
+
+// Save writes a record as indented JSON.
+func Save(w io.Writer, r *Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Load reads a record, validating the schema version and bit strings.
+func Load(rd io.Reader) (*Record, error) {
+	var r Record
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if r.Version != SchemaVersion {
+		return nil, fmt.Errorf("replay: schema version %d, this build reads %d", r.Version, SchemaVersion)
+	}
+	for _, s := range []string{r.TxBits, r.RxBits} {
+		for i := 0; i < len(s); i++ {
+			if s[i] != '0' && s[i] != '1' {
+				return nil, fmt.Errorf("replay: invalid bit %q at %d", s[i], i)
+			}
+		}
+	}
+	return &r, nil
+}
+
+// Tx and Rx return the archived bit strings as byte slices (0/1 values).
+func (r *Record) Tx() []byte { return stringToBits(r.TxBits) }
+
+// Rx returns the received bits.
+func (r *Record) Rx() []byte { return stringToBits(r.RxBits) }
+
+// Reaccuracy recomputes the alignment-aware accuracy from the archived
+// bits — a consistency check against the stored value, and the hook for
+// re-analyzing old records with newer metrics.
+func (r *Record) Reaccuracy() float64 {
+	return stats.Accuracy(r.Tx(), r.Rx())
+}
+
+func bitsToString(bits []byte) string {
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		out[i] = '0' + b&1
+	}
+	return string(out)
+}
+
+func stringToBits(s string) []byte {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = s[i] - '0'
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coherentleak/internal/covert"
+)
+
+func sampleResult(t *testing.T) *covert.Result {
+	t.Helper()
+	ch := covert.NewChannel(covert.Scenarios[0])
+	res, err := ch.Run([]byte{1, 0, 1, 1, 0, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRoundTrip(t *testing.T) {
+	res := sampleResult(t)
+	rec := FromResult(res, true)
+	var buf bytes.Buffer
+	if err := Save(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenario != "LExclc-LSharedb" {
+		t.Fatalf("scenario = %q", back.Scenario)
+	}
+	if back.TxBits != "10110010" {
+		t.Fatalf("txBits = %q", back.TxBits)
+	}
+	if back.Accuracy != res.Accuracy || back.RawKbps != res.RawKbps {
+		t.Fatal("metrics did not round-trip")
+	}
+	if len(back.Samples) != len(res.Samples) {
+		t.Fatalf("samples = %d, want %d", len(back.Samples), len(res.Samples))
+	}
+	if len(back.Bands) != 5 {
+		t.Fatalf("bands = %d, want 5 (four placements + DRAM)", len(back.Bands))
+	}
+	// Bands are sorted by center and cover the expected range.
+	for i := 1; i < len(back.Bands); i++ {
+		if back.Bands[i].Center <= back.Bands[i-1].Center {
+			t.Fatal("bands not sorted")
+		}
+	}
+}
+
+func TestWithoutSamples(t *testing.T) {
+	rec := FromResult(sampleResult(t), false)
+	if len(rec.Samples) != 0 {
+		t.Fatal("samples archived despite includeSamples=false")
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"samples"`) {
+		t.Fatal("empty samples field serialized")
+	}
+}
+
+func TestReaccuracyMatchesStored(t *testing.T) {
+	rec := FromResult(sampleResult(t), false)
+	if got := rec.Reaccuracy(); got != rec.Accuracy {
+		t.Fatalf("recomputed accuracy %v != stored %v", got, rec.Accuracy)
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+}
+
+func TestLoadRejectsBadBits(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"version": 1, "txBits": "10x1"}`)); err == nil {
+		t.Fatal("invalid bit characters accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestBitStringHelpers(t *testing.T) {
+	r := &Record{TxBits: "0110", RxBits: "10"}
+	tx, rx := r.Tx(), r.Rx()
+	if len(tx) != 4 || tx[1] != 1 || tx[0] != 0 {
+		t.Fatalf("tx = %v", tx)
+	}
+	if len(rx) != 2 || rx[0] != 1 {
+		t.Fatalf("rx = %v", rx)
+	}
+}

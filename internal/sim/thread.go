@@ -1,0 +1,112 @@
+package sim
+
+import "fmt"
+
+type threadState int
+
+const (
+	threadReady threadState = iota
+	threadRunning
+	threadDone
+)
+
+func (s threadState) String() string {
+	switch s {
+	case threadReady:
+		return "ready"
+	case threadRunning:
+		return "running"
+	case threadDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// Thread is a simulated hardware thread. Thread bodies run as goroutines
+// but are cooperatively scheduled: exactly one thread executes at a time,
+// and control returns to the World at every Advance call. A thread body
+// must therefore call Advance (directly or through a timed machine
+// operation) inside any loop, or the simulation cannot progress.
+type Thread struct {
+	id     int
+	name   string
+	world  *World
+	time   Cycles
+	resume chan struct{}
+	state  threadState
+	err    error
+
+	stopRequested bool
+
+	// Tag is free space for the owner of the thread (the kernel layer
+	// stores the owning process and core pinning here).
+	Tag any
+}
+
+// ID returns the thread's unique id (spawn order).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Now returns the thread's local virtual time in cycles. It is the
+// simulated analogue of rdtsc.
+func (t *Thread) Now() Cycles { return t.time }
+
+// World returns the owning world.
+func (t *Thread) World() *World { return t.world }
+
+// Finished reports whether the thread body has returned or been stopped.
+func (t *Thread) Finished() bool { return t.state == threadDone }
+
+// StopRequested reports whether World.StopThread has been called for t.
+// Long-running bodies may poll it to exit cleanly; otherwise the next
+// Advance unwinds them.
+func (t *Thread) StopRequested() bool { return t.stopRequested }
+
+// Advance moves the thread's local clock forward by d cycles and yields to
+// the scheduler. All simulated work is expressed as Advance calls: a load
+// that hits in the L1 is Advance(4) from the core's point of view.
+//
+// Advance panics with an internal sentinel if the thread has been stopped;
+// the sentinel is recovered by the thread wrapper, so thread bodies should
+// not recover it themselves (a recover must re-panic values it does not
+// recognize — see run).
+func (t *Thread) Advance(d Cycles) {
+	if t.state != threadRunning {
+		panic(fmt.Sprintf("sim: Advance called on %s thread %q", t.state, t.name))
+	}
+	if t.stopRequested {
+		panic(killed{reason: "stop requested"})
+	}
+	t.time += d
+	t.world.yield <- struct{}{}
+	<-t.resume
+	if t.stopRequested {
+		panic(killed{reason: "stop requested"})
+	}
+}
+
+// Yield gives other threads at the same timestamp a chance to run without
+// consuming simulated time. Because ties are broken by thread id, a Yield
+// by the lowest-id thread re-runs it immediately; use Advance(1) when real
+// progress is required.
+func (t *Thread) Yield() { t.Advance(0) }
+
+// run is the goroutine wrapper around the thread body. It waits for the
+// first scheduling, executes fn, recovers the kill sentinel, and reports
+// other panics to the scheduler.
+func (t *Thread) run(fn func(*Thread)) {
+	<-t.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); !ok {
+				t.err = fmt.Errorf("sim: thread %q panicked: %v", t.name, r)
+			}
+		}
+		t.state = threadDone
+		t.world.yield <- struct{}{}
+	}()
+	fn(t)
+}

@@ -1,0 +1,240 @@
+// Package sim provides the discrete-event kernel underneath the coherence
+// testbed: a virtual cycle clock, a deterministic cooperative scheduler for
+// simulated hardware threads, and seeded pseudo-random number generation.
+//
+// Determinism is the point. The paper's attack lives or dies on a 26-cycle
+// latency difference; the Go runtime's scheduler and garbage collector
+// introduce orders of magnitude more wall-clock noise than that. The kernel
+// therefore runs exactly one simulated thread at a time and orders threads
+// by (virtual time, thread id), so a run is a pure function of its
+// configuration and seed. Simulated threads are real goroutines, but they
+// hand control back to the scheduler at every timed operation, so shared
+// state mutated by thread bodies needs no locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Cycles is a duration or instant measured in simulated CPU cycles.
+type Cycles = uint64
+
+// killed is the panic sentinel used to unwind a thread that was stopped
+// from outside (World.StopThread or World.Shutdown).
+type killed struct{ reason string }
+
+// ErrDeadlock is reported by World.Run when no thread can make progress
+// before MaxCycles elapses.
+type ErrDeadlock struct {
+	At Cycles
+}
+
+func (e ErrDeadlock) Error() string {
+	return fmt.Sprintf("sim: no runnable thread advanced past cycle limit %d", e.At)
+}
+
+// Config parameterizes a World.
+type Config struct {
+	// Seed feeds the world's root random stream. Child components should
+	// obtain their own streams via World.Rand().Split().
+	Seed uint64
+	// MaxCycles aborts the run when the global clock passes it.
+	// Zero means no limit.
+	MaxCycles Cycles
+}
+
+// World is the simulation kernel: it owns the virtual clock and schedules
+// simulated threads deterministically. Create one with NewWorld, add
+// threads with Spawn, then drive them with Run or RunUntil.
+type World struct {
+	cfg     Config
+	rand    *Rand
+	threads []*Thread
+	queue   threadQueue
+	nextID  int
+	now     Cycles
+	running bool
+	yield   chan struct{} // a paused/finished thread signals here
+	stopped bool
+}
+
+// NewWorld returns an empty world.
+func NewWorld(cfg Config) *World {
+	return &World{
+		cfg:   cfg,
+		rand:  NewRand(cfg.Seed),
+		yield: make(chan struct{}),
+	}
+}
+
+// Rand returns the world's root random stream.
+func (w *World) Rand() *Rand { return w.rand }
+
+// Now returns the global virtual clock: the local time of the most
+// recently scheduled thread.
+func (w *World) Now() Cycles { return w.now }
+
+// Threads returns all threads ever spawned, in spawn order, including
+// finished ones.
+func (w *World) Threads() []*Thread {
+	out := make([]*Thread, len(w.threads))
+	copy(out, w.threads)
+	return out
+}
+
+// Spawn creates a simulated thread named name whose body is fn. The thread
+// starts at the current global time and runs when the scheduler first
+// selects it. Spawn may be called before Run or from inside another
+// thread's body.
+func (w *World) Spawn(name string, fn func(*Thread)) *Thread {
+	t := &Thread{
+		id:     w.nextID,
+		name:   name,
+		world:  w,
+		time:   w.now,
+		resume: make(chan struct{}),
+		state:  threadReady,
+	}
+	w.nextID++
+	w.threads = append(w.threads, t)
+	heap.Push(&w.queue, t)
+	go t.run(fn)
+	return t
+}
+
+// Run drives the world until every thread has finished. It returns
+// ErrDeadlock if the cycle limit is exceeded first, or the first panic
+// value (re-panicked) if a thread body panics.
+func (w *World) Run() error {
+	return w.RunUntil(func() bool { return false })
+}
+
+// RunUntil drives the world until stop() returns true (checked between
+// thread steps), every thread finishes, or the cycle limit is exceeded.
+func (w *World) RunUntil(stop func() bool) error {
+	if w.running {
+		panic("sim: World.Run called re-entrantly")
+	}
+	w.running = true
+	defer func() { w.running = false }()
+
+	for {
+		if stop() {
+			return nil
+		}
+		t := w.nextRunnable()
+		if t == nil {
+			return nil // all threads finished
+		}
+		if w.cfg.MaxCycles != 0 && t.time > w.cfg.MaxCycles {
+			return ErrDeadlock{At: w.cfg.MaxCycles}
+		}
+		w.now = t.time
+		t.state = threadRunning
+		t.resume <- struct{}{}
+		<-w.yield
+		if t.state == threadRunning {
+			// The thread paused itself (Advance) rather than finishing.
+			t.state = threadReady
+			heap.Push(&w.queue, t)
+		}
+		if t.err != nil {
+			panic(t.err)
+		}
+	}
+}
+
+// nextRunnable pops the ready thread with the smallest (time, id).
+func (w *World) nextRunnable() *Thread {
+	for w.queue.Len() > 0 {
+		t := heap.Pop(&w.queue).(*Thread)
+		if t.state == threadReady {
+			return t
+		}
+	}
+	return nil
+}
+
+// StopThread asks a thread to terminate. The thread unwinds the next time
+// it calls Advance (or immediately if it is waiting to be scheduled).
+func (w *World) StopThread(t *Thread) {
+	if t.state == threadDone {
+		return
+	}
+	t.stopRequested = true
+}
+
+// Shutdown requests termination of every live thread.
+func (w *World) Shutdown() {
+	for _, t := range w.threads {
+		w.StopThread(t)
+	}
+	w.stopped = true
+}
+
+// Drain stops every thread and schedules until all have unwound. Call it
+// after RunUntil returns with live threads, so their goroutines exit
+// before the world is dropped.
+func (w *World) Drain() {
+	w.Shutdown()
+	for {
+		t := w.nextRunnable()
+		if t == nil {
+			return
+		}
+		t.state = threadRunning
+		t.resume <- struct{}{}
+		<-w.yield
+		if t.state == threadRunning {
+			t.state = threadReady
+			heap.Push(&w.queue, t)
+		}
+	}
+}
+
+// LiveThreads returns the number of threads that have not finished.
+func (w *World) LiveThreads() int {
+	n := 0
+	for _, t := range w.threads {
+		if t.state != threadDone {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a human-readable summary of thread states, for
+// debugging stuck scenarios.
+func (w *World) Snapshot() string {
+	ts := w.Threads()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].id < ts[j].id })
+	s := fmt.Sprintf("world @%d cycles, %d threads\n", w.now, len(ts))
+	for _, t := range ts {
+		s += fmt.Sprintf("  #%d %-20s %-8s @%d\n", t.id, t.name, t.state, t.time)
+	}
+	return s
+}
+
+// threadQueue is a min-heap ordered by (time, id). Ordering by id second
+// makes scheduling fully deterministic when threads share a timestamp.
+type threadQueue []*Thread
+
+func (q threadQueue) Len() int { return len(q) }
+func (q threadQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].id < q[j].id
+}
+func (q threadQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *threadQueue) Push(x any)   { *q = append(*q, x.(*Thread)) }
+func (q *threadQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}

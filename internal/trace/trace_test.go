@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coherentleak/internal/machine"
+	"coherentleak/internal/sim"
+)
+
+func newMachine(t *testing.T) (*sim.World, *machine.Machine) {
+	t.Helper()
+	w := sim.NewWorld(sim.Config{Seed: 3})
+	return w, machine.New(w, machine.DefaultConfig())
+}
+
+func drive(t *testing.T, w *sim.World, body func(th *sim.Thread)) {
+	t.Helper()
+	w.Spawn("driver", body)
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderCapturesOps(t *testing.T) {
+	w, m := newMachine(t)
+	r := Attach(m, 100, NewFilter())
+	drive(t, w, func(th *sim.Thread) {
+		m.Load(th, 0, 0x1000)
+		m.Store(th, 0, 0x1000)
+		m.Flush(th, 0, 0x1000)
+	})
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Op != "load" || evs[1].Op != "store" || evs[2].Op != "flush" {
+		t.Fatalf("ops = %v %v %v", evs[0].Op, evs[1].Op, evs[2].Op)
+	}
+	if evs[0].Path != machine.PathDRAM {
+		t.Errorf("first load path = %v", evs[0].Path)
+	}
+	if evs[0].Latency == 0 || evs[0].Cycle == 0 {
+		t.Error("latency/cycle missing")
+	}
+	if r.Total != 3 {
+		t.Errorf("Total = %d", r.Total)
+	}
+}
+
+func TestRecorderFilters(t *testing.T) {
+	w, m := newMachine(t)
+	f := NewFilter()
+	f.Op = "flush"
+	f.Line = 0x2000
+	r := Attach(m, 100, f)
+	drive(t, w, func(th *sim.Thread) {
+		m.Load(th, 0, 0x2000)
+		m.Flush(th, 0, 0x2000)
+		m.Flush(th, 0, 0x3000) // different line: filtered
+		m.Flush(th, 1, 0x2010) // same line (sub-line addr): kept
+	})
+	if r.Len() != 2 {
+		t.Fatalf("filtered events = %d, want 2", r.Len())
+	}
+	for _, ev := range r.Events() {
+		if ev.Op != "flush" || ev.Line != 0x2000 {
+			t.Fatalf("filter leak: %+v", ev)
+		}
+	}
+}
+
+func TestRecorderRingWraps(t *testing.T) {
+	w, m := newMachine(t)
+	r := Attach(m, 4, NewFilter())
+	drive(t, w, func(th *sim.Thread) {
+		for i := uint64(0); i < 10; i++ {
+			m.Load(th, 0, 0x1000+i*64)
+		}
+	})
+	if r.Len() != 4 {
+		t.Fatalf("retained = %d, want 4", r.Len())
+	}
+	if r.Total != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total)
+	}
+	evs := r.Events()
+	// Chronological: last four loads, lines 0x1180..0x1240.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Fatal("events not chronological after wrap")
+		}
+	}
+	if evs[len(evs)-1].Line != 0x1000+9*64 {
+		t.Fatalf("newest event line = %#x", evs[len(evs)-1].Line)
+	}
+}
+
+func TestDetachStopsRecording(t *testing.T) {
+	w, m := newMachine(t)
+	r := Attach(m, 10, NewFilter())
+	drive(t, w, func(th *sim.Thread) {
+		m.Load(th, 0, 0x1000)
+		r.Detach()
+		m.Load(th, 0, 0x2000)
+	})
+	if r.Len() != 1 {
+		t.Fatalf("events after detach = %d", r.Len())
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	w, m := newMachine(t)
+	r := Attach(m, 10, NewFilter())
+	drive(t, w, func(th *sim.Thread) {
+		m.Load(th, 0, 0x1000)
+	})
+	var buf bytes.Buffer
+	if err := r.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "cycle\tthread") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(out, "load") || !strings.Contains(out, "0x1000") {
+		t.Fatalf("row missing: %q", out)
+	}
+}
+
+// The flush+reload signature: ByLine ranks the probed line first — the
+// aggregation an OS monitor defense thresholds on.
+func TestByLineFlushReloadSignature(t *testing.T) {
+	w, m := newMachine(t)
+	r := Attach(m, 1000, NewFilter())
+	drive(t, w, func(th *sim.Thread) {
+		// Innocent traffic on many lines.
+		for i := uint64(0); i < 20; i++ {
+			m.Load(th, 1, 0x40000+i*64)
+		}
+		// Probe pattern on one line.
+		for i := 0; i < 10; i++ {
+			m.Flush(th, 0, 0x9000)
+			m.Load(th, 0, 0x9000)
+		}
+	})
+	stats := r.ByLine()
+	if len(stats) == 0 {
+		t.Fatal("no line stats")
+	}
+	top := stats[0]
+	if top.Line != 0x9000 {
+		t.Fatalf("top suspicious line = %#x, want 0x9000", top.Line)
+	}
+	if top.FlushLoadPairs != 10 || top.Flushes != 10 {
+		t.Fatalf("probe stats = %+v", top)
+	}
+	// Innocent lines have zero flush+reload pairs.
+	for _, st := range stats[1:] {
+		if st.FlushLoadPairs != 0 {
+			t.Fatalf("innocent line %#x has %d pairs", st.Line, st.FlushLoadPairs)
+		}
+	}
+}
