@@ -1,0 +1,25 @@
+# Tier-1 verification targets. `make ci` is what a CI job should run:
+# build + vet + tests, plus a race-detector pass over the harness worker
+# pool (and its integration tests, which execute real experiment cells
+# in parallel).
+
+GO ?= go
+
+.PHONY: build vet test test-race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/harness/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: build vet test test-race

@@ -1,163 +1,79 @@
 package coherentleak
 
-// Benchmark harness: one benchmark per paper table/figure (regenerating a
-// reduced-size version of the artifact per iteration and reporting the
-// headline metric), plus micro-benchmarks of the substrates and ablation
-// benches for the design choices called out in DESIGN.md §5.
+// Benchmark harness: the paper artifacts are regenerated through the
+// same internal/harness Runner the cmd/experiments binary drives (quick
+// sizing, one sub-benchmark per registered artifact, plus a worker-pool
+// scaling bench), alongside micro-benchmarks of the substrates and
+// ablation benches for the design choices called out in DESIGN.md §5.
 //
 // Run: go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"testing"
 
 	"coherentleak/internal/coherence"
 	"coherentleak/internal/covert"
 	"coherentleak/internal/experiments"
+	"coherentleak/internal/harness"
 	"coherentleak/internal/kernel"
 	"coherentleak/internal/machine"
 	"coherentleak/internal/sim"
 )
 
-// --- per-figure benchmarks -------------------------------------------
+// --- artifact benchmarks (registry-driven) ---------------------------
 
-// BenchmarkFig2LatencyCDF regenerates the §V latency-band CDFs.
-func BenchmarkFig2LatencyCDF(b *testing.B) {
-	cfg := machine.DefaultConfig()
-	for i := 0; i < b.N; i++ {
-		series, err := experiments.Fig2LatencyCDF(cfg, 200, experiments.DefaultSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(series) != 4 {
-			b.Fatal("wrong series count")
-		}
+func quickPlan() harness.Plan {
+	return harness.Plan{
+		Cfg:    machine.DefaultConfig(),
+		Seed:   experiments.DefaultSeed,
+		Sizing: harness.SizingQuick,
 	}
 }
 
-// BenchmarkTableIScenarios verifies and times one short transmission per
-// Table I row.
-func BenchmarkTableIScenarios(b *testing.B) {
-	bits := experiments.PatternBits(1, 20)
-	for _, sc := range covert.Scenarios {
-		sc := sc
-		b.Run(sc.Name(), func(b *testing.B) {
-			acc := 0.0
-			for i := 0; i < b.N; i++ {
-				ch := covert.NewChannel(sc)
-				ch.WorldSeed = uint64(i) + 1
-				res, err := ch.Run(bits)
-				if err != nil {
-					b.Fatal(err)
-				}
-				acc = res.Accuracy
-			}
-			b.ReportMetric(acc*100, "accuracy%")
-		})
+func runArtifacts(b *testing.B, names []string, parallel int) *harness.RunReport {
+	b.Helper()
+	arts, err := experiments.Artifacts().Select(names)
+	if err != nil {
+		b.Fatal(err)
 	}
+	r := &harness.Runner{Parallel: parallel}
+	rep, err := r.Run(quickPlan(), arts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		b.Fatal(err)
+	}
+	return rep
 }
 
-// BenchmarkFig7Reception regenerates the 100-bit reception trace for the
-// canonical scenario.
-func BenchmarkFig7Reception(b *testing.B) {
-	cfg := machine.DefaultConfig()
-	var rate float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig7Reception(cfg, covert.Scenarios[0], experiments.DefaultSeed+uint64(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Accuracy < 0.97 {
-			b.Fatalf("reception accuracy %v", res.Accuracy)
-		}
-		rate = res.RawKbps
-	}
-	b.ReportMetric(rate, "Kbps")
-}
-
-// BenchmarkFig8RateSweep regenerates the accuracy-vs-rate curve for one
-// robust and one fragile scenario.
-func BenchmarkFig8RateSweep(b *testing.B) {
-	cfg := machine.DefaultConfig()
-	for _, name := range []string{"LExclc-LSharedb", "RExclc-LSharedb"} {
-		name := name
+// BenchmarkArtifact regenerates each registered paper artifact at quick
+// sizing through the harness Runner — the same engine, registry and
+// cell decomposition cmd/experiments uses.
+func BenchmarkArtifact(b *testing.B) {
+	for _, name := range experiments.Artifacts().Names() {
 		b.Run(name, func(b *testing.B) {
-			sc, err := covert.ScenarioByName(name)
-			if err != nil {
-				b.Fatal(err)
-			}
-			targets := []float64{300, 700, 1000}
-			var last []experiments.RatePoint
+			var rows int
 			for i := 0; i < b.N; i++ {
-				last, err = experiments.Fig8RateSweep(cfg, sc, targets, 200, experiments.DefaultSeed+uint64(i))
-				if err != nil {
-					b.Fatal(err)
-				}
+				rep := runArtifacts(b, []string{name}, 1)
+				rows = len(rep.Results[0].Rows)
 			}
-			b.ReportMetric(last[len(last)-1].Accuracy*100, "acc@1000%")
+			b.ReportMetric(float64(rows), "rows")
 		})
 	}
 }
 
-// BenchmarkFig9Noise regenerates the noise study's extreme point.
-func BenchmarkFig9Noise(b *testing.B) {
-	cfg := machine.DefaultConfig()
-	var acc float64
-	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig9Noise(cfg, covert.Scenarios[0], []int{8}, 150, experiments.DefaultSeed+uint64(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		acc = pts[0].Accuracy
-	}
-	b.ReportMetric(acc*100, "accuracy%")
-}
-
-// BenchmarkFig10ECC regenerates one reliable packet transfer.
-func BenchmarkFig10ECC(b *testing.B) {
-	cfg := machine.DefaultConfig()
-	var eff float64
-	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig10ECC(cfg, covert.Scenarios[0], []int{0}, 1, experiments.DefaultSeed+uint64(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !pts[0].Recovered {
-			b.Fatal("not recovered")
-		}
-		eff = pts[0].EffectiveKbps
-	}
-	b.ReportMetric(eff, "effKbps")
-}
-
-// BenchmarkFig11MultiBit regenerates the 2-bit-symbol demonstration.
-func BenchmarkFig11MultiBit(b *testing.B) {
-	cfg := machine.DefaultConfig()
-	var rate float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig11MultiBit(cfg, 60, experiments.DefaultSeed+uint64(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Accuracy < 0.95 {
-			b.Fatalf("multibit accuracy %v", res.Accuracy)
-		}
-		rate = res.RawKbps
-	}
-	b.ReportMetric(rate, "Kbps")
-}
-
-// BenchmarkMitigations regenerates the defense ablation for the first
-// scenario x all defenses.
-func BenchmarkMitigations(b *testing.B) {
-	cfg := machine.DefaultConfig()
-	for i := 0; i < b.N; i++ {
-		pts, err := experiments.MitigationAblation(cfg, 30, experiments.DefaultSeed+uint64(i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(pts) != 36 {
-			b.Fatalf("cells = %d", len(pts))
-		}
+// BenchmarkRunnerParallel measures worker-pool scaling over a mixed
+// artifact set (multi-cell, varied cell cost).
+func BenchmarkRunnerParallel(b *testing.B) {
+	names := []string{"fig2", "fig9", "capacity"}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runArtifacts(b, names, par)
+			}
+		})
 	}
 }
 
@@ -455,7 +371,9 @@ func BenchmarkCalibrate(b *testing.B) {
 }
 
 // BenchmarkPeakSearch regenerates the abstract's headline rates (700
-// Kbps binary / 1.1 Mbps multi-bit) on a reduced payload.
+// Kbps binary / 1.1 Mbps multi-bit) on a reduced payload — kept as a
+// direct call (not registry-driven) because it sweeps a smaller payload
+// than the peaks artifact's quick sizing.
 func BenchmarkPeakSearch(b *testing.B) {
 	cfg := machine.DefaultConfig()
 	var pk *experiments.PeakRates

@@ -1,10 +1,14 @@
 // Command experiments regenerates the paper's tables and figures on the
-// simulated testbed, writing one TSV per artifact plus a console summary.
+// simulated testbed through the internal/harness engine: every artifact
+// decomposes into independent cells executed on a bounded worker pool,
+// TSV output is byte-identical regardless of -parallel, and a manifest
+// lets repeated invocations skip cells whose inputs are unchanged.
 //
 // Usage:
 //
-//	experiments [-only table1,fig2,fig6,fig7,fig8,fig9,fig10,fig11,peaks,mitigations]
-//	            [-out results] [-quick] [-seed N]
+//	experiments [-only table1,fig2,fig6,fig7,fig8,fig9,fig10,fig11,peaks,mitigations,capacity]
+//	            [-out results] [-quick] [-seed N] [-parallel N]
+//	            [-cache=false] [-archive=false] [-list]
 package main
 
 import (
@@ -12,299 +16,101 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
-	"coherentleak/internal/covert"
 	"coherentleak/internal/experiments"
+	"coherentleak/internal/harness"
 	"coherentleak/internal/machine"
 )
 
-type runner struct {
-	cfg   machine.Config
-	out   string
-	seed  uint64
-	quick bool
-	fails int
-}
-
 func main() {
 	var (
-		only  = flag.String("only", "", "comma-separated artifact list (default: all)")
-		out   = flag.String("out", "results", "output directory for TSV files")
-		quick = flag.Bool("quick", false, "smaller payloads for a fast pass")
-		seed  = flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
+		only     = flag.String("only", "", "comma-separated artifact list (default: all)")
+		out      = flag.String("out", "results", "output directory for TSV files")
+		quick    = flag.Bool("quick", false, "smaller payloads for a fast pass")
+		seed     = flag.Uint64("seed", experiments.DefaultSeed, "experiment seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max cells in flight")
+		cache    = flag.Bool("cache", true, "skip cells with unchanged inputs via <out>/manifest.json")
+		archive  = flag.Bool("archive", true, "archive replay JSON records under <out>/replay")
+		list     = flag.Bool("list", false, "list registered artifacts and exit")
 	)
 	flag.Parse()
 
+	reg := experiments.Artifacts()
+	if *list {
+		for _, a := range reg.Artifacts() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Description)
+		}
+		return
+	}
+
+	// Resolve and validate the full -only list before anything runs, so
+	// an unknown name cannot surface after earlier artifacts executed.
+	arts, err := reg.Select(strings.Split(*only, ","))
+	if err != nil {
+		die(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+		die(err)
+	}
+
+	var manifest *harness.Manifest
+	manifestPath := filepath.Join(*out, "manifest.json")
+	if *cache {
+		manifest, err = harness.LoadManifest(manifestPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: starting with empty cell cache: %v\n", err)
+			manifest = harness.NewManifest()
+		}
+	}
+	sinks := []harness.Sink{harness.TSVSink{Dir: *out, Log: os.Stdout}}
+	if *archive {
+		sinks = append(sinks, harness.ReplaySink{Dir: filepath.Join(*out, "replay")})
+	}
+
+	sizing := harness.SizingFull
+	if *quick {
+		sizing = harness.SizingQuick
+	}
+	runner := &harness.Runner{
+		Parallel: *parallel,
+		Progress: os.Stdout,
+		Manifest: manifest,
+		Sinks:    sinks,
+	}
+	report, err := runner.Run(harness.Plan{
+		Cfg:    machine.DefaultConfig(),
+		Seed:   *seed,
+		Sizing: sizing,
+	}, arts)
+	if err != nil {
+		die(err)
+	}
+	if manifest != nil {
+		if err := manifest.Save(manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}
+
+	fmt.Printf("done: %d artifact(s), %d cell(s) executed, %d cached, in %s at -parallel %d\n",
+		len(report.Results), report.Executed, report.CacheHits,
+		report.Wall.Round(time.Millisecond), *parallel)
+	if report.Failed > 0 {
+		for _, res := range report.Results {
+			for _, c := range res.Cells {
+				if c.Err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", c.Err)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %d cell(s) failed; their rows are missing from the TSVs above\n", report.Failed)
 		os.Exit(1)
 	}
-	r := &runner{cfg: machine.DefaultConfig(), out: *out, seed: *seed, quick: *quick}
-
-	all := []string{"table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "peaks", "mitigations", "capacity"}
-	want := all
-	if *only != "" {
-		want = strings.Split(*only, ",")
-	}
-	for _, name := range want {
-		switch strings.TrimSpace(name) {
-		case "table1":
-			r.table1()
-		case "fig2":
-			r.fig2()
-		case "fig6":
-			r.fig6()
-		case "fig7":
-			r.fig7()
-		case "fig8":
-			r.fig8()
-		case "fig9":
-			r.fig9()
-		case "fig10":
-			r.fig10()
-		case "fig11":
-			r.fig11()
-		case "peaks":
-			r.peaks()
-		case "mitigations":
-			r.mitigations()
-		case "capacity":
-			r.capacity()
-		default:
-			fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q\n", name)
-			r.fails++
-		}
-	}
-	if r.fails > 0 {
-		os.Exit(1)
-	}
 }
 
-func (r *runner) write(name string, header string, rows []string) {
-	path := filepath.Join(r.out, name)
-	var b strings.Builder
-	b.WriteString(header + "\n")
-	for _, row := range rows {
-		b.WriteString(row + "\n")
-	}
-	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		r.fails++
-		return
-	}
-	fmt.Printf("wrote %s (%d rows)\n", path, len(rows))
-}
-
-func (r *runner) fail(what string, err error) {
-	fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", what, err)
-	r.fails++
-}
-
-func (r *runner) table1() {
-	rows := make([]string, 0, 6)
-	for _, row := range experiments.TableI() {
-		rows = append(rows, fmt.Sprintf("%s\t%s\t%s\t%d\t%d",
-			row.Notation, row.CommPlacement, row.BoundPlacement,
-			row.LocalThreads, row.RemoteThreads))
-	}
-	r.write("table1.tsv", "notation\tcomm\tboundary\tlocal_threads\tremote_threads", rows)
-}
-
-func (r *runner) fig2() {
-	samples := 1000
-	if r.quick {
-		samples = 200
-	}
-	series, err := experiments.Fig2LatencyCDF(r.cfg, samples, r.seed)
-	if err != nil {
-		r.fail("fig2", err)
-		return
-	}
-	var rows []string
-	for _, s := range series {
-		for _, pt := range s.CDF {
-			rows = append(rows, fmt.Sprintf("%s\t%.0f\t%.4f", s.Placement, pt.X, pt.P))
-		}
-		fmt.Printf("fig2 %-8s mean=%.1f cycles (min %.0f, max %.0f)\n",
-			s.Placement, s.Summary.Mean, s.Summary.Min, s.Summary.Max)
-	}
-	r.write("fig2_cdf.tsv", "placement\tlatency_cycles\tcdf", rows)
-}
-
-func (r *runner) fig6() {
-	bits := experiments.Fig6Pattern()
-	rows := make([]string, len(bits))
-	for i, b := range bits {
-		rows[i] = fmt.Sprintf("%d\t%d", i, b)
-	}
-	r.write("fig6_pattern.tsv", "index\tbit", rows)
-}
-
-func (r *runner) fig7() {
-	var rows []string
-	for i, sc := range covert.Scenarios {
-		res, err := experiments.Fig7Reception(r.cfg, sc, r.seed+uint64(i)*17)
-		if err != nil {
-			r.fail("fig7 "+sc.Name(), err)
-			return
-		}
-		for j, s := range res.Samples {
-			rows = append(rows, fmt.Sprintf("%s\t%d\t%d\t%s", res.Scenario, j, s.Latency, s.Class))
-		}
-		fmt.Printf("fig7 %-18s accuracy=%.1f%% rate=%.0f Kbps sync=%.2f us\n",
-			res.Scenario, res.Accuracy*100, res.RawKbps,
-			r.cfg.CyclesToSeconds(res.SyncCycles)*1e6)
-	}
-	r.write("fig7_reception.tsv", "scenario\tsample\tlatency_cycles\tclass", rows)
-}
-
-func (r *runner) fig8() {
-	payload := 1000
-	if r.quick {
-		payload = 300
-	}
-	var rows []string
-	for _, sc := range covert.Scenarios {
-		pts, err := experiments.Fig8RateSweep(r.cfg, sc, experiments.Fig8Targets(), payload, r.seed)
-		if err != nil {
-			r.fail("fig8 "+sc.Name(), err)
-			return
-		}
-		line := fmt.Sprintf("fig8 %-18s", sc.Name())
-		for _, p := range pts {
-			rows = append(rows, fmt.Sprintf("%s\t%.0f\t%.1f\t%.4f",
-				sc.Name(), p.TargetKbps, p.MeasuredKbps, p.Accuracy))
-			line += fmt.Sprintf(" %.0f:%.0f%%", p.TargetKbps, p.Accuracy*100)
-		}
-		fmt.Println(line)
-	}
-	r.write("fig8_rate_accuracy.tsv", "scenario\ttarget_kbps\tmeasured_kbps\taccuracy", rows)
-}
-
-func (r *runner) fig9() {
-	payload := 500
-	if r.quick {
-		payload = 200
-	}
-	var rows []string
-	for _, sc := range covert.Scenarios {
-		pts, err := experiments.Fig9Noise(r.cfg, sc, experiments.Fig9NoiseLevels(), payload, r.seed)
-		if err != nil {
-			r.fail("fig9 "+sc.Name(), err)
-			return
-		}
-		line := fmt.Sprintf("fig9 %-18s", sc.Name())
-		for _, p := range pts {
-			rows = append(rows, fmt.Sprintf("%s\t%d\t%.4f\t%.1f",
-				p.Scenario, p.NoiseThreads, p.Accuracy, p.MeasuredKbps))
-			line += fmt.Sprintf(" n%d:%.0f%%", p.NoiseThreads, p.Accuracy*100)
-		}
-		fmt.Println(line)
-	}
-	r.write("fig9_noise_accuracy.tsv", "scenario\tnoise_threads\taccuracy\tmeasured_kbps", rows)
-}
-
-func (r *runner) fig10() {
-	packets := 3
-	if r.quick {
-		packets = 1
-	}
-	var rows []string
-	for _, sc := range covert.Scenarios {
-		pts, err := experiments.Fig10ECC(r.cfg, sc, experiments.Fig10NoiseLevels(), packets, r.seed)
-		if err != nil {
-			r.fail("fig10 "+sc.Name(), err)
-			return
-		}
-		line := fmt.Sprintf("fig10 %-18s", sc.Name())
-		for _, p := range pts {
-			rows = append(rows, fmt.Sprintf("%s\t%d\t%.1f\t%.1f\t%d\t%v",
-				p.Scenario, p.NoiseThreads, p.RawKbps, p.EffectiveKbps,
-				p.Retransmissions, p.Recovered))
-			line += fmt.Sprintf(" n%d:%.0fKbps(rtx %d)", p.NoiseThreads, p.EffectiveKbps, p.Retransmissions)
-		}
-		fmt.Println(line)
-	}
-	r.write("fig10_ecc.tsv", "scenario\tnoise_threads\traw_kbps\teffective_kbps\tretransmissions\trecovered", rows)
-}
-
-func (r *runner) fig11() {
-	extra := 200
-	if r.quick {
-		extra = 60
-	}
-	res, err := experiments.Fig11MultiBit(r.cfg, extra, r.seed)
-	if err != nil {
-		r.fail("fig11", err)
-		return
-	}
-	var rows []string
-	for i, s := range res.Samples {
-		rows = append(rows, fmt.Sprintf("%d\t%d\t%d", i, s.Latency, res.SymbolTrace[i]))
-	}
-	fmt.Printf("fig11 multibit accuracy=%.1f%% rate=%.0f Kbps\n", res.Accuracy*100, res.RawKbps)
-	r.write("fig11_multibit.tsv", "sample\tlatency_cycles\tsymbol", rows)
-}
-
-func (r *runner) peaks() {
-	payload := 400
-	if r.quick {
-		payload = 150
-	}
-	const minAccuracy = 0.97
-	pk, err := experiments.FindPeakRates(r.cfg, minAccuracy, payload, r.seed)
-	if err != nil {
-		r.fail("peaks", err)
-		return
-	}
-	fmt.Printf("peaks: binary %.0f Kbps (%s), multibit %.0f Kbps at >=%.0f%% accuracy\n",
-		pk.BinaryKbps, pk.BinaryName, pk.MultiBitKbps, minAccuracy*100)
-	r.write("peaks.tsv", "channel\tkbps\tscenario",
-		[]string{
-			fmt.Sprintf("binary\t%.1f\t%s", pk.BinaryKbps, pk.BinaryName),
-			fmt.Sprintf("multibit\t%.1f\t-", pk.MultiBitKbps),
-		})
-}
-
-func (r *runner) capacity() {
-	payload := 400
-	if r.quick {
-		payload = 150
-	}
-	sc := covert.Scenarios[3] // RExclc-LSharedb, the robust pair
-	pts, err := experiments.CapacityTable(r.cfg, sc,
-		[]float64{300, 700, 1000}, []int{0, 8}, payload, r.seed)
-	if err != nil {
-		r.fail("capacity", err)
-		return
-	}
-	var rows []string
-	for _, p := range pts {
-		rows = append(rows, fmt.Sprintf("%s\t%.0f\t%d\t%.1f\t%.4f\t%.4f\t%.4f\t%.1f\t%s",
-			p.Scenario, p.TargetKbps, p.NoiseThreads, p.RawKbps,
-			p.FlipRate, p.LostRate, p.ExtraRate, p.InfoKbps, p.TCSEC))
-		fmt.Printf("capacity %s @%.0f n=%d: info %.0f Kbps (%s)\n",
-			p.Scenario, p.TargetKbps, p.NoiseThreads, p.InfoKbps, p.TCSEC)
-	}
-	r.write("capacity.tsv",
-		"scenario\ttarget_kbps\tnoise\traw_kbps\tflip\tlost\textra\tinfo_kbps\ttcsec", rows)
-}
-
-func (r *runner) mitigations() {
-	payload := 120
-	if r.quick {
-		payload = 60
-	}
-	pts, err := experiments.MitigationAblation(r.cfg, payload, r.seed)
-	if err != nil {
-		r.fail("mitigations", err)
-		return
-	}
-	var rows []string
-	for _, p := range pts {
-		rows = append(rows, fmt.Sprintf("%s\t%s\t%.4f", p.Scenario, p.Defense, p.Accuracy))
-	}
-	fmt.Printf("mitigations: %d cells\n", len(pts))
-	r.write("mitigations.tsv", "scenario\tdefense\taccuracy", rows)
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

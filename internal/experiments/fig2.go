@@ -17,33 +17,47 @@ type Fig2Series struct {
 	Summary   stats.Summary
 }
 
-// Fig2LatencyCDF reproduces Figure 2: 1000 timed loads per (location,
+// desktopNoise attaches the §V measurement background: two light
+// browser/dropbox/editor-grade threads, routed through the kernel layer
+// to keep page handling real.
+func desktopNoise(w *sim.World, m *machine.Machine) {
+	k := kernel.New(m, 0)
+	ncfg := noise.DefaultConfig(2)
+	ncfg.WorkingSetPages = 128
+	ncfg.ThinkCycles = 400 // light desktop load, not kcbench
+	if _, err := noise.Attach(k, ncfg); err != nil {
+		panic(err)
+	}
+}
+
+// Fig2Placement measures one curve of Figure 2: timed loads for a
+// single (location, coherence-state) combination under the
+// representative desktop workload. It is the per-cell unit of the fig2
+// artifact — each call builds its own world.
+func Fig2Placement(cfg machine.Config, pl covert.Placement, samples int, seed uint64) (Fig2Series, error) {
+	xs, err := covert.MeasurePlacement(cfg, seed, pl, samples, desktopNoise)
+	if err != nil {
+		return Fig2Series{}, err
+	}
+	return Fig2Series{
+		Placement: pl,
+		Samples:   xs,
+		CDF:       stats.CDF(xs),
+		Summary:   stats.Summarize(xs),
+	}, nil
+}
+
+// Fig2LatencyCDF reproduces Figure 2: timed loads per (location,
 // coherence state) combination under a representative desktop workload
 // (a couple of background noise threads, as in §V's measurement setup).
 func Fig2LatencyCDF(cfg machine.Config, samples int, seed uint64) ([]Fig2Series, error) {
-	desktop := func(w *sim.World, m *machine.Machine) {
-		// Browser/dropbox/editor-grade background: two light threads.
-		// They attach through the kernel layer to keep page handling real.
-		k := kernel.New(m, 0)
-		ncfg := noise.DefaultConfig(2)
-		ncfg.WorkingSetPages = 128
-		ncfg.ThinkCycles = 400 // light desktop load, not kcbench
-		if _, err := noise.Attach(k, ncfg); err != nil {
-			panic(err)
-		}
-	}
 	out := make([]Fig2Series, 0, len(covert.AllPlacements))
 	for i, pl := range covert.AllPlacements {
-		xs, err := covert.MeasurePlacement(cfg, seed+uint64(i)*13, pl, samples, desktop)
+		s, err := Fig2Placement(cfg, pl, samples, seed+uint64(i)*13)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Fig2Series{
-			Placement: pl,
-			Samples:   xs,
-			CDF:       stats.CDF(xs),
-			Summary:   stats.Summarize(xs),
-		})
+		out = append(out, s)
 	}
 	return out, nil
 }

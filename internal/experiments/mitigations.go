@@ -23,45 +23,62 @@ func MitigationNames() []string {
 
 // MitigationAblation measures every (scenario, defense) cell.
 func MitigationAblation(cfg machine.Config, payloadBits int, seed uint64) ([]MitigationPoint, error) {
-	bits := PatternBits(seed^0xd3f, payloadBits)
 	var out []MitigationPoint
-	for _, sc := range covert.Scenarios {
-		for _, def := range MitigationNames() {
-			ch := covert.Channel{
-				Config:      cfg,
-				Scenario:    sc,
-				Params:      covert.DefaultParams(),
-				Mode:        covert.ShareKSM,
-				WorldSeed:   seed + uint64(len(out))*41,
-				PatternSeed: seed,
-			}
-			switch def {
-			case "none":
-			case "monitor":
-				ch.PreRun = func(s *covert.Session) {
-					mitigate.AttachMonitor(s.Kern, mitigate.DefaultMonitorConfig(), mitigate.AttackLines(s))
-				}
-			case "ksm-guard":
-				ch.PreRun = func(s *covert.Session) {
-					mitigate.AttachKSMGuard(s.Kern, mitigate.DefaultKSMGuardConfig())
-				}
-			case "etom-notify":
-				ch.Config = mitigate.HardwareFix(cfg)
-			case "equalize":
-				ch.Config = mitigate.TimingObfuscator(cfg)
-			case "full-hw":
-				ch.Config = mitigate.FullHardwareDefense(cfg)
-			}
-			res, err := ch.Run(bits)
-			if err != nil {
-				return nil, fmt.Errorf("mitigation %s/%s: %w", sc.Name(), def, err)
-			}
-			out = append(out, MitigationPoint{
-				Scenario: sc.Name(),
-				Defense:  def,
-				Accuracy: res.Accuracy,
-			})
+	for si, sc := range covert.Scenarios {
+		pts, err := MitigationScenario(cfg, sc, si, payloadBits, seed)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// MitigationScenario measures one scenario row of the ablation — every
+// defense against one scenario. scIndex is the scenario's position in
+// covert.Scenarios; it keeps the per-cell world seeds identical to a
+// whole-grid sweep, so a decomposed (parallel) run reproduces the same
+// numbers as the serial grid.
+func MitigationScenario(cfg machine.Config, sc covert.Scenario, scIndex int, payloadBits int, seed uint64) ([]MitigationPoint, error) {
+	bits := PatternBits(seed^0xd3f, payloadBits)
+	names := MitigationNames()
+	out := make([]MitigationPoint, 0, len(names))
+	for di, def := range names {
+		cell := scIndex*len(names) + di
+		ch := covert.Channel{
+			Config:      cfg,
+			Scenario:    sc,
+			Params:      covert.DefaultParams(),
+			Mode:        covert.ShareKSM,
+			WorldSeed:   seed + uint64(cell)*41,
+			PatternSeed: seed,
+		}
+		switch def {
+		case "none":
+		case "monitor":
+			ch.PreRun = func(s *covert.Session) {
+				mitigate.AttachMonitor(s.Kern, mitigate.DefaultMonitorConfig(), mitigate.AttackLines(s))
+			}
+		case "ksm-guard":
+			ch.PreRun = func(s *covert.Session) {
+				mitigate.AttachKSMGuard(s.Kern, mitigate.DefaultKSMGuardConfig())
+			}
+		case "etom-notify":
+			ch.Config = mitigate.HardwareFix(cfg)
+		case "equalize":
+			ch.Config = mitigate.TimingObfuscator(cfg)
+		case "full-hw":
+			ch.Config = mitigate.FullHardwareDefense(cfg)
+		}
+		res, err := ch.Run(bits)
+		if err != nil {
+			return nil, fmt.Errorf("mitigation %s/%s: %w", sc.Name(), def, err)
+		}
+		out = append(out, MitigationPoint{
+			Scenario: sc.Name(),
+			Defense:  def,
+			Accuracy: res.Accuracy,
+		})
 	}
 	return out, nil
 }

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func stubArtifact(name string, cells int) *Artifact {
+	return &Artifact{
+		Name:        name,
+		Description: "stub " + name,
+		File:        name + ".tsv",
+		Header:      "k\tv",
+		Cells: func(p Plan) ([]Cell, error) {
+			out := make([]Cell, cells)
+			for i := range out {
+				out[i] = Cell{
+					Name: fmt.Sprintf("c%d", i),
+					Run: func() (CellOutput, error) {
+						return CellOutput{Rows: []string{fmt.Sprintf("%s\t%d", name, i)}}, nil
+					},
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+func TestRegistryRegisterValidates(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []*Artifact{
+		nil,
+		{},
+		{Name: "x"},
+		{Name: "x", File: "x.tsv"},
+		{Name: "x", File: "x.tsv", Header: "h"},
+	} {
+		if err := reg.Register(bad); err == nil {
+			t.Fatalf("Register(%+v) accepted an incomplete artifact", bad)
+		}
+	}
+	if err := reg.Register(stubArtifact("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(stubArtifact("x", 1)); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestSelectDefaultsToAllInRegistrationOrder(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range []string{"b", "a", "c"} {
+		reg.MustRegister(stubArtifact(n, 1))
+	}
+	arts, err := reg.Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(arts))
+	for i, a := range arts {
+		got[i] = a.Name
+	}
+	if want := "b a c"; strings.Join(got, " ") != want {
+		t.Fatalf("Select(nil) = %v, want %s", got, want)
+	}
+	// Blank entries (e.g. from splitting an empty -only string) are
+	// ignored rather than treated as unknown names.
+	if arts, err = reg.Select([]string{"", " "}); err != nil || len(arts) != 3 {
+		t.Fatalf("Select(blank) = %v, %v", arts, err)
+	}
+}
+
+func TestSelectHonorsRequestOrder(t *testing.T) {
+	reg := NewRegistry()
+	for _, n := range []string{"a", "b", "c"} {
+		reg.MustRegister(stubArtifact(n, 1))
+	}
+	arts, err := reg.Select([]string{" c", "a "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 2 || arts[0].Name != "c" || arts[1].Name != "a" {
+		t.Fatalf("Select order wrong: %v", arts)
+	}
+}
+
+// TestSelectValidatesWholeListUpFront is the contract the CLI relies on:
+// a typo anywhere in -only fails the whole invocation before any cell
+// runs, naming every unknown entry.
+func TestSelectValidatesWholeListUpFront(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(stubArtifact("good", 1))
+	_, err := reg.Select([]string{"good", "bogus", "worse"})
+	if err == nil {
+		t.Fatal("unknown names accepted")
+	}
+	for _, want := range []string{"bogus", "worse", "good"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if _, err := reg.Select([]string{"good", "good"}); err == nil {
+		t.Fatal("duplicate request accepted")
+	}
+}
+
+func TestPlanSizeAndDigest(t *testing.T) {
+	p := Plan{Seed: 1}
+	if p.Quick() || p.Size(10, 2) != 10 {
+		t.Fatal("empty sizing should behave as full")
+	}
+	p.Sizing = SizingQuick
+	if !p.Quick() || p.Size(10, 2) != 2 {
+		t.Fatal("quick sizing not honored")
+	}
+	d1 := p.ConfigDigest()
+	if len(d1) != 64 {
+		t.Fatalf("digest %q not sha256 hex", d1)
+	}
+	p.Cfg.Sockets = 4
+	if d2 := p.ConfigDigest(); d2 == d1 {
+		t.Fatal("config change did not change digest")
+	}
+}

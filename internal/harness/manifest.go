@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ManifestVersion identifies the on-disk manifest layout. A version
+// bump invalidates old caches wholesale.
+const ManifestVersion = 1
+
+// ManifestEntry is one cached cell output.
+type ManifestEntry struct {
+	// Digest hashes the inputs that produced the entry (config digest,
+	// seed, sizing, artifact, cell). A lookup only hits when it matches.
+	Digest string `json:"digest"`
+	// Rows and Summary replay the cell's output verbatim.
+	Rows    []string `json:"rows"`
+	Summary []string `json:"summary,omitempty"`
+	// WallMillis is the original execution time, reported on hits so a
+	// cached run can say how much work it skipped.
+	WallMillis float64 `json:"wallMillis"`
+}
+
+type manifestFile struct {
+	Version int                       `json:"version"`
+	Entries map[string]*ManifestEntry `json:"entries"`
+}
+
+// Manifest caches cell outputs across runs. Safe for concurrent use by
+// the Runner's workers.
+type Manifest struct {
+	mu      sync.Mutex
+	entries map[string]*ManifestEntry
+}
+
+// NewManifest returns an empty manifest.
+func NewManifest() *Manifest {
+	return &Manifest{entries: make(map[string]*ManifestEntry)}
+}
+
+// LoadManifest reads a manifest file. A missing file or a version
+// mismatch yields an empty manifest (the cache simply starts cold);
+// unreadable or malformed files are reported as errors.
+func LoadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewManifest(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: manifest: %w", err)
+	}
+	var f manifestFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("harness: manifest %s: %w", path, err)
+	}
+	if f.Version != ManifestVersion || f.Entries == nil {
+		return NewManifest(), nil
+	}
+	return &Manifest{entries: f.Entries}, nil
+}
+
+// Save writes the manifest atomically (temp file + rename).
+func (m *Manifest) Save(path string) error {
+	m.mu.Lock()
+	b, err := json.MarshalIndent(manifestFile{Version: ManifestVersion, Entries: m.entries}, "", "  ")
+	m.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("harness: manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("harness: manifest: %w", err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: manifest: %w", err)
+	}
+	return nil
+}
+
+// Lookup returns the cached entry for key if its input digest matches.
+func (m *Manifest) Lookup(key, digest string) (*ManifestEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok || e.Digest != digest {
+		return nil, false
+	}
+	return e, true
+}
+
+// Store records a cell's output, replacing any stale entry.
+func (m *Manifest) Store(key string, e *ManifestEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[key] = e
+}
+
+// Len reports the number of cached cells.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

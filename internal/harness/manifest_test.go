@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestManifestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+
+	m := NewManifest()
+	m.Store("fig2/LShared", &ManifestEntry{
+		Digest:     "abc",
+		Rows:       []string{"LShared\t98\t0.5"},
+		Summary:    []string{"fig2 LShared mean=98"},
+		WallMillis: 12.5,
+	})
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("Len = %d", loaded.Len())
+	}
+	e, ok := loaded.Lookup("fig2/LShared", "abc")
+	if !ok || e.Rows[0] != "LShared\t98\t0.5" || e.WallMillis != 12.5 {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if _, ok := loaded.Lookup("fig2/LShared", "different-digest"); ok {
+		t.Fatal("stale digest hit")
+	}
+	if _, ok := loaded.Lookup("fig2/absent", "abc"); ok {
+		t.Fatal("absent key hit")
+	}
+}
+
+func TestLoadManifestMissingFileIsEmpty(t *testing.T) {
+	m, err := LoadManifest(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestLoadManifestVersionMismatchStartsCold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	data := `{"version": 999, "entries": {"k": {"digest": "d", "rows": ["r"]}}}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatal("future-version manifest should be discarded, not read")
+	}
+}
+
+func TestLoadManifestCorruptIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}

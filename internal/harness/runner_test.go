@@ -1,0 +1,256 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shuffledArtifact returns an artifact whose cells finish out of order
+// under parallel execution (later cells sleep less), so any
+// order-sensitivity in assembly would show up as reordered rows.
+func shuffledArtifact(name string, cells int, ran *atomic.Int64) *Artifact {
+	return &Artifact{
+		Name:        name,
+		Description: "shuffled " + name,
+		File:        name + ".tsv",
+		Header:      "cell\tvalue",
+		Cells: func(p Plan) ([]Cell, error) {
+			out := make([]Cell, cells)
+			for i := range out {
+				out[i] = Cell{
+					Name: fmt.Sprintf("c%02d", i),
+					Run: func() (CellOutput, error) {
+						time.Sleep(time.Duration(cells-i) * time.Millisecond)
+						if ran != nil {
+							ran.Add(1)
+						}
+						return CellOutput{
+							Rows:    []string{fmt.Sprintf("c%02d\t%d", i, i*i)},
+							Summary: []string{fmt.Sprintf("%s c%02d done", name, i)},
+						}, nil
+					},
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+func TestRunnerAssemblesInCellOrder(t *testing.T) {
+	arts := []*Artifact{shuffledArtifact("alpha", 8, nil), shuffledArtifact("beta", 5, nil)}
+	r := &Runner{Parallel: 8}
+	rep, err := r.Run(Plan{Seed: 1}, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		for i, row := range res.Rows {
+			if want := fmt.Sprintf("c%02d\t%d", i, i*i); row != want {
+				t.Fatalf("%s row %d = %q, want %q", res.Artifact.Name, i, row, want)
+			}
+		}
+	}
+	if rep.Executed != 13 || rep.CacheHits != 0 || rep.Failed != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestRunnerSerialParallelIdenticalTSV is the engine-level determinism
+// contract: the assembled bytes cannot depend on the worker count.
+func TestRunnerSerialParallelIdenticalTSV(t *testing.T) {
+	run := func(parallel int) []byte {
+		r := &Runner{Parallel: parallel}
+		rep, err := r.Run(Plan{Seed: 7}, []*Artifact{shuffledArtifact("gamma", 12, nil)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Results[0].TSV()
+	}
+	serial, parallel := run(1), run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("TSV differs:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestRunnerContinuesPastCellFailure pins the partial-failure behavior:
+// one scenario's failure must not drop the remaining scenarios' rows.
+func TestRunnerContinuesPastCellFailure(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	a := &Artifact{
+		Name: "flaky", Description: "d", File: "flaky.tsv", Header: "h",
+		Cells: func(p Plan) ([]Cell, error) {
+			var cells []Cell
+			for i := 0; i < 6; i++ {
+				switch i {
+				case 2:
+					cells = append(cells, Cell{Name: "err", Run: func() (CellOutput, error) {
+						return CellOutput{}, boom
+					}})
+				case 4:
+					cells = append(cells, Cell{Name: "panic", Run: func() (CellOutput, error) {
+						panic("cell exploded")
+					}})
+				default:
+					cells = append(cells, Cell{Name: fmt.Sprintf("ok%d", i), Run: func() (CellOutput, error) {
+						ran.Add(1)
+						return CellOutput{Rows: []string{fmt.Sprintf("row%d", i)}}, nil
+					}})
+				}
+			}
+			return cells, nil
+		},
+	}
+	r := &Runner{Parallel: 3}
+	rep, err := r.Run(Plan{}, []*Artifact{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("healthy cells ran %d times, want 4", got)
+	}
+	if rep.Failed != 2 {
+		t.Fatalf("Failed = %d, want 2", rep.Failed)
+	}
+	res := rep.Results[0]
+	if want := []string{"row0", "row1", "row3", "row5"}; strings.Join(res.Rows, ",") != strings.Join(want, ",") {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+	aggErr := rep.Err()
+	if aggErr == nil {
+		t.Fatal("Err() = nil with failures present")
+	}
+	for _, want := range []string{"flaky/err", "boom", "flaky/panic", "cell exploded"} {
+		if !strings.Contains(aggErr.Error(), want) {
+			t.Fatalf("Err() %q missing %q", aggErr, want)
+		}
+	}
+}
+
+type recordingSink struct {
+	names []string
+	errOn string
+}
+
+func (s *recordingSink) WriteArtifact(res *ArtifactResult) error {
+	if res.Artifact.Name == s.errOn {
+		return errors.New("sink refused")
+	}
+	s.names = append(s.names, res.Artifact.Name)
+	return nil
+}
+
+func TestRunnerFeedsSinksInArtifactOrder(t *testing.T) {
+	arts := []*Artifact{
+		shuffledArtifact("z", 4, nil),
+		shuffledArtifact("a", 4, nil),
+		shuffledArtifact("m", 4, nil),
+	}
+	sink := &recordingSink{}
+	var progress bytes.Buffer
+	r := &Runner{Parallel: 6, Progress: &progress, Sinks: []Sink{sink}}
+	if _, err := r.Run(Plan{}, arts); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(sink.names, " "); got != "z a m" {
+		t.Fatalf("sink order = %q, want artifact order", got)
+	}
+	out := progress.String()
+	if !strings.Contains(out, "[12/12]") {
+		t.Fatalf("progress missing completion counter:\n%s", out)
+	}
+	if !strings.Contains(out, "z c03 done") {
+		t.Fatalf("progress missing summary lines:\n%s", out)
+	}
+}
+
+func TestRunnerSinkErrorIsFatal(t *testing.T) {
+	sink := &recordingSink{errOn: "bad"}
+	r := &Runner{Parallel: 2, Sinks: []Sink{sink}}
+	_, err := r.Run(Plan{}, []*Artifact{shuffledArtifact("bad", 2, nil)})
+	if err == nil || !strings.Contains(err.Error(), "sink") {
+		t.Fatalf("err = %v, want sink failure", err)
+	}
+}
+
+func TestRunnerRejectsBadCellPlans(t *testing.T) {
+	dup := &Artifact{
+		Name: "dup", Description: "d", File: "d.tsv", Header: "h",
+		Cells: func(p Plan) ([]Cell, error) {
+			c := Cell{Name: "same", Run: func() (CellOutput, error) { return CellOutput{}, nil }}
+			return []Cell{c, c}, nil
+		},
+	}
+	if _, err := (&Runner{}).Run(Plan{}, []*Artifact{dup}); err == nil {
+		t.Fatal("duplicate cell names accepted")
+	}
+	empty := &Artifact{
+		Name: "empty", Description: "d", File: "e.tsv", Header: "h",
+		Cells: func(p Plan) ([]Cell, error) { return nil, nil },
+	}
+	if _, err := (&Runner{}).Run(Plan{}, []*Artifact{empty}); err == nil {
+		t.Fatal("empty cell plan accepted")
+	}
+}
+
+func TestRunnerManifestCache(t *testing.T) {
+	var ran atomic.Int64
+	arts := []*Artifact{shuffledArtifact("cached", 6, &ran)}
+	m := NewManifest()
+	r := &Runner{Parallel: 4, Manifest: m}
+
+	first, err := r.Run(Plan{Seed: 3}, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed != 6 || first.CacheHits != 0 {
+		t.Fatalf("first run report = %+v", first)
+	}
+
+	second, err := r.Run(Plan{Seed: 3}, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 6 {
+		t.Fatalf("cells re-ran: %d executions total, want 6", got)
+	}
+	if second.Executed != 0 || second.CacheHits != 6 {
+		t.Fatalf("second run report = %+v", second)
+	}
+	if !bytes.Equal(first.Results[0].TSV(), second.Results[0].TSV()) {
+		t.Fatal("cached TSV differs from executed TSV")
+	}
+	if !bytes.Equal(
+		[]byte(strings.Join(first.Results[0].Summary, "\n")),
+		[]byte(strings.Join(second.Results[0].Summary, "\n"))) {
+		t.Fatal("cached summary differs")
+	}
+
+	// Any input change — here the seed — must invalidate every cell.
+	third, err := r.Run(Plan{Seed: 4}, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Executed != 6 || third.CacheHits != 0 {
+		t.Fatalf("seed change report = %+v", third)
+	}
+}
+
+func TestRunnerParallelDefaultsAndClamps(t *testing.T) {
+	r := &Runner{}
+	if got := r.workers(100); got < 1 {
+		t.Fatalf("workers = %d", got)
+	}
+	r.Parallel = 64
+	if got := r.workers(3); got != 3 {
+		t.Fatalf("workers should clamp to job count, got %d", got)
+	}
+}

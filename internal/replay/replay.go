@@ -140,6 +140,54 @@ func (r *Record) Reaccuracy() float64 {
 	return stats.Accuracy(r.Tx(), r.Rx())
 }
 
+// ArtifactSchemaVersion identifies the artifact-record layout.
+const ArtifactSchemaVersion = 1
+
+// ArtifactRecord archives one regenerated paper artifact (a whole table
+// or figure) as produced by the harness engine: the assembled TSV rows
+// plus the provenance needed to reproduce or invalidate them — seed,
+// sizing and a digest of the machine configuration.
+type ArtifactRecord struct {
+	Version      int            `json:"version"`
+	Artifact     string         `json:"artifact"`
+	Description  string         `json:"description,omitempty"`
+	Sizing       string         `json:"sizing"`
+	Seed         uint64         `json:"seed"`
+	ConfigDigest string         `json:"configDigest"`
+	Header       string         `json:"header"`
+	Rows         []string       `json:"rows"`
+	Cells        []ArtifactCell `json:"cells"`
+}
+
+// ArtifactCell records how one cell of the artifact was produced.
+type ArtifactCell struct {
+	Name       string  `json:"name"`
+	Cached     bool    `json:"cached,omitempty"`
+	WallMillis float64 `json:"wallMillis,omitempty"`
+	Rows       int     `json:"rows"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// SaveArtifact writes an artifact record as indented JSON.
+func SaveArtifact(w io.Writer, r *ArtifactRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadArtifact reads an artifact record, validating the schema version.
+func LoadArtifact(rd io.Reader) (*ArtifactRecord, error) {
+	var r ArtifactRecord
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if r.Version != ArtifactSchemaVersion {
+		return nil, fmt.Errorf("replay: artifact schema version %d, this build reads %d",
+			r.Version, ArtifactSchemaVersion)
+	}
+	return &r, nil
+}
+
 func bitsToString(bits []byte) string {
 	out := make([]byte, len(bits))
 	for i, b := range bits {

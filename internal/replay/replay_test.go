@@ -101,3 +101,43 @@ func TestBitStringHelpers(t *testing.T) {
 		t.Fatalf("rx = %v", rx)
 	}
 }
+
+func TestArtifactRecordRoundTrip(t *testing.T) {
+	rec := &ArtifactRecord{
+		Version:      ArtifactSchemaVersion,
+		Artifact:     "fig8",
+		Description:  "accuracy vs rate",
+		Sizing:       "quick",
+		Seed:         20180224,
+		ConfigDigest: "deadbeef",
+		Header:       "scenario\ttarget_kbps",
+		Rows:         []string{"LExclc-LSharedb\t100", "LExclc-LSharedb\t200"},
+		Cells: []ArtifactCell{
+			{Name: "LExclc-LSharedb", WallMillis: 41.5, Rows: 2},
+			{Name: "RExclc-RSharedb", Cached: true, Rows: 0, Error: "boom"},
+		},
+	}
+	var buf strings.Builder
+	if err := SaveArtifact(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadArtifact(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Artifact != rec.Artifact || got.Seed != rec.Seed || got.ConfigDigest != rec.ConfigDigest {
+		t.Fatalf("provenance lost: %+v", got)
+	}
+	if len(got.Rows) != 2 || got.Rows[1] != rec.Rows[1] {
+		t.Fatalf("rows lost: %v", got.Rows)
+	}
+	if len(got.Cells) != 2 || !got.Cells[1].Cached || got.Cells[1].Error != "boom" {
+		t.Fatalf("cells lost: %+v", got.Cells)
+	}
+}
+
+func TestLoadArtifactRejectsBadVersion(t *testing.T) {
+	if _, err := LoadArtifact(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("future artifact schema accepted")
+	}
+}
