@@ -1,11 +1,11 @@
-# Tier-1 verification targets. `make ci` is what a CI job should run:
+# Tier-1 verification targets. `make ci` is what the CI job runs:
 # build + vet + tests, plus a race-detector pass over the harness worker
-# pool (and its integration tests, which execute real experiment cells
-# in parallel).
+# pool and the service daemon (whose integration tests execute real
+# experiment cells in parallel behind httptest).
 
 GO ?= go
 
-.PHONY: build vet test test-race bench ci
+.PHONY: build vet test test-race bench ci run-daemon
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,14 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/harness/...
+	$(GO) test -race ./internal/harness/... ./internal/service/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 ci: build vet test test-race
+
+# Start the experiment service daemon on :8080 (state under
+# results-daemon/). See EXPERIMENTS.md for the API walkthrough.
+run-daemon:
+	$(GO) run ./cmd/cohsimd -addr :8080 -out results-daemon

@@ -9,6 +9,7 @@ package coherentleak
 // Run: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -38,7 +39,7 @@ func runArtifacts(b *testing.B, names []string, parallel int) *harness.RunReport
 		b.Fatal(err)
 	}
 	r := &harness.Runner{Parallel: parallel}
-	rep, err := r.Run(quickPlan(), arts)
+	rep, err := r.Run(context.Background(), quickPlan(), arts)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,135 @@
+// Command cohsimd is the experiment service daemon: a long-lived HTTP
+// JSON API over the internal/harness engine. Clients list the artifact
+// registry, submit parameterized jobs (artifact list, seed, sizing,
+// machine-config overrides) onto a bounded queue, follow per-cell
+// progress over Server-Sent Events, and download assembled TSV /
+// replay-JSON results. All jobs share one manifest cell-cache, so a
+// repeated request is served from cache in milliseconds.
+//
+// Usage:
+//
+//	cohsimd [-addr :8080] [-out results-daemon] [-queue 16] [-jobs 1]
+//	        [-parallel N] [-job-timeout 15m] [-max-timeout 2h]
+//	        [-cache=true] [-persist=true]
+//
+// Walkthrough:
+//
+//	cohsimd -addr :8080 &
+//	curl localhost:8080/v1/artifacts
+//	curl -X POST localhost:8080/v1/jobs -d '{"artifacts":["table1"],"sizing":"quick"}'
+//	curl localhost:8080/v1/jobs/job-000001/events          # SSE progress
+//	curl localhost:8080/v1/jobs/job-000001/artifacts/table1.tsv
+//
+// SIGINT/SIGTERM drains gracefully: no new jobs are admitted, queued
+// jobs are shed, in-flight jobs finish (up to -drain-timeout), and the
+// manifest is persisted atomically.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"coherentleak/internal/experiments"
+	"coherentleak/internal/harness"
+	"coherentleak/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		out          = flag.String("out", "results-daemon", "state directory (manifest + per-job results)")
+		queue        = flag.Int("queue", 16, "bounded job queue depth (admission control)")
+		jobs         = flag.Int("jobs", 1, "jobs executed concurrently")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "max cells in flight per job")
+		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "default per-job timeout")
+		maxTimeout   = flag.Duration("max-timeout", 2*time.Hour, "cap on client-requested timeouts")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
+		cache        = flag.Bool("cache", true, "share the manifest cell cache across jobs")
+		persist      = flag.Bool("persist", true, "persist manifest and per-job TSVs under -out")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *out, *queue, *jobs, *parallel, *jobTimeout, *maxTimeout, *drainTimeout, *cache, *persist); err != nil {
+		fmt.Fprintln(os.Stderr, "cohsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, out string, queue, jobs, parallel int, jobTimeout, maxTimeout, drainTimeout time.Duration, cache, persist bool) error {
+	opts := service.Options{
+		Registry:       experiments.Artifacts(),
+		QueueDepth:     queue,
+		Executors:      jobs,
+		CellParallel:   parallel,
+		DefaultTimeout: jobTimeout,
+		MaxTimeout:     maxTimeout,
+		DefaultSeed:    experiments.DefaultSeed,
+		Log:            os.Stderr,
+	}
+	manifestPath := filepath.Join(out, "manifest.json")
+	if persist {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		opts.ResultsDir = filepath.Join(out, "jobs")
+	}
+	switch {
+	case cache && persist:
+		m, err := harness.LoadManifest(manifestPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cohsimd: starting with empty cell cache: %v\n", err)
+			m = harness.NewManifest()
+		}
+		opts.Manifest = m
+		opts.ManifestPath = manifestPath
+	case cache:
+		// In-memory only: Options.Manifest defaults to a fresh manifest
+		// shared across jobs for the daemon's lifetime.
+	default:
+		opts.DisableCache = true
+	}
+
+	svc, err := service.New(opts)
+	if err != nil {
+		return err
+	}
+
+	server := &http.Server{Addr: addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "cohsimd: listening on %s (queue %d, %d executor(s), %d cells in flight)\n",
+			addr, queue, jobs, parallel)
+		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "cohsimd: draining (in-flight jobs finish, queued jobs shed)")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain the job queue first — while it drains, HTTP keeps answering
+	// (healthz reports 503, submits are refused, SSE streams end as jobs
+	// reach terminal states) — then close the listener.
+	svcErr := svc.Shutdown(drainCtx)
+	httpErr := server.Shutdown(drainCtx)
+	fmt.Fprintln(os.Stderr, "cohsimd: stopped")
+	return errors.Join(svcErr, httpErr)
+}

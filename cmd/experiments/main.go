@@ -7,17 +7,25 @@
 // Usage:
 //
 //	experiments [-only table1,fig2,fig6,fig7,fig8,fig9,fig10,fig11,peaks,mitigations,capacity]
-//	            [-out results] [-quick] [-seed N] [-parallel N]
+//	            [-out results] [-quick] [-seed N] [-parallel N] [-timeout D]
 //	            [-cache=false] [-archive=false] [-list]
+//
+// A -timeout (or Ctrl-C / SIGTERM) cancels the run between cells: cells
+// already executing finish, the partial report is printed, and the
+// manifest still saves whatever completed, so a rerun resumes from the
+// cache instead of starting over.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"coherentleak/internal/experiments"
@@ -35,8 +43,17 @@ func main() {
 		cache    = flag.Bool("cache", true, "skip cells with unchanged inputs via <out>/manifest.json")
 		archive  = flag.Bool("archive", true, "archive replay JSON records under <out>/replay")
 		list     = flag.Bool("list", false, "list registered artifacts and exit")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	reg := experiments.Artifacts()
 	if *list {
@@ -80,18 +97,20 @@ func main() {
 		Manifest: manifest,
 		Sinks:    sinks,
 	}
-	report, err := runner.Run(harness.Plan{
+	report, err := runner.Run(ctx, harness.Plan{
 		Cfg:    machine.DefaultConfig(),
 		Seed:   *seed,
 		Sizing: sizing,
 	}, arts)
+	// Save the manifest even on a cancelled run: completed cells are
+	// valid cache entries, so the next invocation resumes from them.
+	if manifest != nil && report != nil {
+		if serr := manifest.Save(manifestPath); serr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", serr)
+		}
+	}
 	if err != nil {
 		die(err)
-	}
-	if manifest != nil {
-		if err := manifest.Save(manifestPath); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-		}
 	}
 
 	fmt.Printf("done: %d artifact(s), %d cell(s) executed, %d cached, in %s at -parallel %d\n",

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -66,7 +67,7 @@ func TestGoldenTSVs(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := &harness.Runner{Parallel: 2, Sinks: []harness.Sink{harness.TSVSink{Dir: dir}}}
-	rep, err := r.Run(registryPlan(harness.SizingQuick), arts)
+	rep, err := r.Run(context.Background(), registryPlan(harness.SizingQuick), arts)
 	if err != nil {
 		t.Fatal(err)
 	}

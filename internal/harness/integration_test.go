@@ -7,6 +7,7 @@ package harness_test
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -31,7 +32,7 @@ func runQuick(t *testing.T, names []string, r *harness.Runner) *harness.RunRepor
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := r.Run(quickPlan(), arts)
+	rep, err := r.Run(context.Background(), quickPlan(), arts)
 	if err != nil {
 		t.Fatal(err)
 	}

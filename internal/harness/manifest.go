@@ -31,10 +31,14 @@ type manifestFile struct {
 }
 
 // Manifest caches cell outputs across runs. Safe for concurrent use by
-// the Runner's workers.
+// the Runner's workers and for sharing across daemon jobs: lookups,
+// stores and saves may all overlap.
 type Manifest struct {
 	mu      sync.Mutex
 	entries map[string]*ManifestEntry
+	// saveMu serializes Save so two jobs finishing simultaneously write
+	// whole snapshots in turn instead of racing on the temp file.
+	saveMu sync.Mutex
 }
 
 // NewManifest returns an empty manifest.
@@ -63,22 +67,44 @@ func LoadManifest(path string) (*Manifest, error) {
 	return &Manifest{entries: f.Entries}, nil
 }
 
-// Save writes the manifest atomically (temp file + rename).
+// Save writes the manifest atomically: a consistent snapshot is
+// marshalled to a temp file in the destination directory, fsynced, and
+// renamed over path, so a crash mid-save (or a reader racing a writer)
+// can never observe a torn manifest. Concurrent Saves are serialized;
+// concurrent Stores continue without blocking on the disk write (they
+// land in the next Save's snapshot).
 func (m *Manifest) Save(path string) error {
+	m.saveMu.Lock()
+	defer m.saveMu.Unlock()
+
+	// Snapshot the map under the entry lock, marshal outside it so a
+	// large manifest doesn't stall the Runner's workers. Entries are
+	// immutable once stored, so sharing pointers is safe.
 	m.mu.Lock()
-	b, err := json.MarshalIndent(manifestFile{Version: ManifestVersion, Entries: m.entries}, "", "  ")
+	snap := make(map[string]*ManifestEntry, len(m.entries))
+	for k, e := range m.entries {
+		snap[k] = e
+	}
 	m.mu.Unlock()
+	b, err := json.MarshalIndent(manifestFile{Version: ManifestVersion, Entries: snap}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("harness: manifest: %w", err)
 	}
+
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
 	if err != nil {
 		return fmt.Errorf("harness: manifest: %w", err)
 	}
-	if _, err := tmp.Write(append(b, '\n')); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: manifest: %w", err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
@@ -87,6 +113,11 @@ func (m *Manifest) Save(path string) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: manifest: %w", err)
+	}
+	// Sync the directory so the rename itself survives a crash.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
 	}
 	return nil
 }

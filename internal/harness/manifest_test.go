@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -37,6 +39,63 @@ func TestManifestRoundtrip(t *testing.T) {
 	}
 	if _, ok := loaded.Lookup("fig2/absent", "abc"); ok {
 		t.Fatal("absent key hit")
+	}
+}
+
+// TestManifestConcurrentStoreAndSave hammers Store/Lookup/Save from
+// many goroutines — the daemon's shape, where jobs store cells while
+// another job's completion triggers an atomic save. Run under -race via
+// `make test-race`. Every observed on-disk manifest must parse (no torn
+// writes) and the final save must contain every entry.
+func TestManifestConcurrentStoreAndSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	m := NewManifest()
+
+	const writers, perWriter = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("art%d/cell%d", w, i)
+				m.Store(key, &ManifestEntry{Digest: "d", Rows: []string{key}})
+				if i%10 == 0 {
+					if err := m.Save(path); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := LoadManifest(path); err != nil {
+						t.Errorf("torn manifest observed: %v", err)
+						return
+					}
+				}
+				m.Lookup(key, "d")
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	final, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Len() != writers*perWriter {
+		t.Fatalf("final manifest has %d entries, want %d", final.Len(), writers*perWriter)
+	}
+	// No temp files may be left behind by the atomic rename dance.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "manifest.json" {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
 	}
 }
 

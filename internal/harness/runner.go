@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -31,6 +32,11 @@ type Runner struct {
 	Manifest *Manifest
 	// Sinks receive every assembled artifact in artifact order.
 	Sinks []Sink
+	// Observe, when set, receives a structured callback per finished
+	// cell (after caching and error wrapping), with the completion
+	// counter. Calls are serialized; long-running observers stall
+	// progress reporting but not cell execution.
+	Observe func(done, total int, rep CellReport)
 }
 
 // CellReport records how one cell ran.
@@ -118,8 +124,18 @@ func (r *Runner) workers(jobs int) int {
 // feeds the sinks. Per-cell failures do not abort the run: remaining
 // cells still execute and the failures are aggregated in the report.
 // The returned error covers engine-level problems only (cell planning,
-// sink writes).
-func (r *Runner) Run(plan Plan, arts []*Artifact) (*RunReport, error) {
+// sink writes, cancellation).
+//
+// Cancelling ctx stops the run between cells: cells already executing
+// finish (cell bodies are pure compute and are never interrupted
+// mid-flight), undispatched cells are marked failed with the context
+// error, sinks are skipped, and Run returns the partial report together
+// with a non-nil error wrapping ctx.Err(). Both the CLI's -timeout and
+// the daemon's per-job cancellation ride on this.
+func (r *Runner) Run(ctx context.Context, plan Plan, arts []*Artifact) (*RunReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	digest := plan.ConfigDigest()
 
@@ -158,7 +174,7 @@ func (r *Runner) Run(plan Plan, arts []*Artifact) (*RunReport, error) {
 	}
 
 	var (
-		mu   sync.Mutex // guards done counter and Progress interleaving
+		mu   sync.Mutex // guards done counter and Progress/Observe interleaving
 		done int
 	)
 	total := len(jobs)
@@ -170,21 +186,63 @@ func (r *Runner) Run(plan Plan, arts []*Artifact) (*RunReport, error) {
 			defer wg.Done()
 			for j := range jobCh {
 				a, c := arts[j.art], cells[j.art][j.cell]
-				r.runCell(plan, digest, a, c, j.cell,
-					&outputs[j.art][j.cell], &reports[j.art][j.cell])
+				rep := &reports[j.art][j.cell]
+				if err := ctx.Err(); err != nil {
+					// Dispatched before cancellation won the race: mark
+					// rather than execute.
+					rep.Artifact, rep.Cell, rep.Index = a.Name, c.Name, j.cell
+					rep.Err = fmt.Errorf("%s/%s: %w", a.Name, c.Name, err)
+				} else {
+					r.runCell(plan, digest, a, c, j.cell, &outputs[j.art][j.cell], rep)
+				}
 				mu.Lock()
 				done++
-				r.progressLine(done, total, &reports[j.art][j.cell])
+				r.progressLine(done, total, rep)
+				if r.Observe != nil {
+					r.Observe(done, total, *rep)
+				}
 				mu.Unlock()
 			}
 		}()
 	}
+dispatch:
 	for _, j := range jobs {
-		jobCh <- j
+		select {
+		case jobCh <- j:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobCh)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		// Mark every cell the dispatcher never handed out, then assemble
+		// the partial report so callers can still see what completed.
+		ran := done
+		for _, j := range jobs {
+			rep := &reports[j.art][j.cell]
+			if rep.Artifact != "" {
+				continue
+			}
+			a, c := arts[j.art], cells[j.art][j.cell]
+			rep.Artifact, rep.Cell, rep.Index = a.Name, c.Name, j.cell
+			rep.Err = fmt.Errorf("%s/%s: %w", a.Name, c.Name, err)
+		}
+		rep, _ := r.assemble(plan, digest, arts, cells, outputs, reports, nil)
+		rep.Wall = time.Since(start)
+		return rep, fmt.Errorf("harness: run cancelled after %d/%d cell(s): %w", ran, total, err)
+	}
+
+	rep, sinkErr := r.assemble(plan, digest, arts, cells, outputs, reports, r.Sinks)
+	rep.Wall = time.Since(start)
+	return rep, sinkErr
+}
+
+// assemble folds per-cell outputs into artifact results in deterministic
+// cell order, streams summaries, and feeds every sink in artifact order.
+// A sink failure stops further sink writes and is returned.
+func (r *Runner) assemble(plan Plan, digest string, arts []*Artifact, cells [][]Cell, outputs [][]CellOutput, reports [][]CellReport, sinks []Sink) (*RunReport, error) {
 	rep := &RunReport{}
 	for ai, a := range arts {
 		res := &ArtifactResult{Artifact: a, Plan: plan, ConfigDigest: digest}
@@ -212,13 +270,12 @@ func (r *Runner) Run(plan Plan, arts []*Artifact) (*RunReport, error) {
 				fmt.Fprintln(r.Progress, line)
 			}
 		}
-		for _, s := range r.Sinks {
+		for _, s := range sinks {
 			if err := s.WriteArtifact(res); err != nil {
-				return nil, fmt.Errorf("harness: sink for %s: %w", a.Name, err)
+				return rep, fmt.Errorf("harness: sink for %s: %w", a.Name, err)
 			}
 		}
 	}
-	rep.Wall = time.Since(start)
 	return rep, nil
 }
 

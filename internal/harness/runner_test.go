@@ -2,9 +2,11 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -44,7 +46,7 @@ func shuffledArtifact(name string, cells int, ran *atomic.Int64) *Artifact {
 func TestRunnerAssemblesInCellOrder(t *testing.T) {
 	arts := []*Artifact{shuffledArtifact("alpha", 8, nil), shuffledArtifact("beta", 5, nil)}
 	r := &Runner{Parallel: 8}
-	rep, err := r.Run(Plan{Seed: 1}, arts)
+	rep, err := r.Run(context.Background(), Plan{Seed: 1}, arts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestRunnerAssemblesInCellOrder(t *testing.T) {
 func TestRunnerSerialParallelIdenticalTSV(t *testing.T) {
 	run := func(parallel int) []byte {
 		r := &Runner{Parallel: parallel}
-		rep, err := r.Run(Plan{Seed: 7}, []*Artifact{shuffledArtifact("gamma", 12, nil)})
+		rep, err := r.Run(context.Background(), Plan{Seed: 7}, []*Artifact{shuffledArtifact("gamma", 12, nil)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +112,7 @@ func TestRunnerContinuesPastCellFailure(t *testing.T) {
 		},
 	}
 	r := &Runner{Parallel: 3}
-	rep, err := r.Run(Plan{}, []*Artifact{a})
+	rep, err := r.Run(context.Background(), Plan{}, []*Artifact{a})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +159,7 @@ func TestRunnerFeedsSinksInArtifactOrder(t *testing.T) {
 	sink := &recordingSink{}
 	var progress bytes.Buffer
 	r := &Runner{Parallel: 6, Progress: &progress, Sinks: []Sink{sink}}
-	if _, err := r.Run(Plan{}, arts); err != nil {
+	if _, err := r.Run(context.Background(), Plan{}, arts); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.Join(sink.names, " "); got != "z a m" {
@@ -175,7 +177,7 @@ func TestRunnerFeedsSinksInArtifactOrder(t *testing.T) {
 func TestRunnerSinkErrorIsFatal(t *testing.T) {
 	sink := &recordingSink{errOn: "bad"}
 	r := &Runner{Parallel: 2, Sinks: []Sink{sink}}
-	_, err := r.Run(Plan{}, []*Artifact{shuffledArtifact("bad", 2, nil)})
+	_, err := r.Run(context.Background(), Plan{}, []*Artifact{shuffledArtifact("bad", 2, nil)})
 	if err == nil || !strings.Contains(err.Error(), "sink") {
 		t.Fatalf("err = %v, want sink failure", err)
 	}
@@ -189,14 +191,14 @@ func TestRunnerRejectsBadCellPlans(t *testing.T) {
 			return []Cell{c, c}, nil
 		},
 	}
-	if _, err := (&Runner{}).Run(Plan{}, []*Artifact{dup}); err == nil {
+	if _, err := (&Runner{}).Run(context.Background(), Plan{}, []*Artifact{dup}); err == nil {
 		t.Fatal("duplicate cell names accepted")
 	}
 	empty := &Artifact{
 		Name: "empty", Description: "d", File: "e.tsv", Header: "h",
 		Cells: func(p Plan) ([]Cell, error) { return nil, nil },
 	}
-	if _, err := (&Runner{}).Run(Plan{}, []*Artifact{empty}); err == nil {
+	if _, err := (&Runner{}).Run(context.Background(), Plan{}, []*Artifact{empty}); err == nil {
 		t.Fatal("empty cell plan accepted")
 	}
 }
@@ -207,7 +209,7 @@ func TestRunnerManifestCache(t *testing.T) {
 	m := NewManifest()
 	r := &Runner{Parallel: 4, Manifest: m}
 
-	first, err := r.Run(Plan{Seed: 3}, arts)
+	first, err := r.Run(context.Background(), Plan{Seed: 3}, arts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +217,7 @@ func TestRunnerManifestCache(t *testing.T) {
 		t.Fatalf("first run report = %+v", first)
 	}
 
-	second, err := r.Run(Plan{Seed: 3}, arts)
+	second, err := r.Run(context.Background(), Plan{Seed: 3}, arts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,12 +237,117 @@ func TestRunnerManifestCache(t *testing.T) {
 	}
 
 	// Any input change — here the seed — must invalidate every cell.
-	third, err := r.Run(Plan{Seed: 4}, arts)
+	third, err := r.Run(context.Background(), Plan{Seed: 4}, arts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if third.Executed != 6 || third.CacheHits != 0 {
 		t.Fatalf("seed change report = %+v", third)
+	}
+}
+
+// TestRunnerContextCancellation pins the cancellation contract: cells
+// already executing finish, undispatched cells are marked failed with
+// the context error, sinks never fire, and Run returns the partial
+// report plus an error wrapping context.Canceled.
+func TestRunnerContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	a := &Artifact{
+		Name: "cancellable", Description: "d", File: "c.tsv", Header: "h",
+		Cells: func(p Plan) ([]Cell, error) {
+			cells := make([]Cell, 16)
+			for i := range cells {
+				cells[i] = Cell{Name: fmt.Sprintf("c%02d", i), Run: func() (CellOutput, error) {
+					ran.Add(1)
+					time.Sleep(2 * time.Millisecond)
+					return CellOutput{Rows: []string{fmt.Sprintf("row%d", i)}}, nil
+				}}
+			}
+			return cells, nil
+		},
+	}
+	sink := &recordingSink{}
+	r := &Runner{
+		Parallel: 1,
+		Sinks:    []Sink{sink},
+		Observe: func(done, total int, rep CellReport) {
+			if done == 2 {
+				cancel()
+			}
+		},
+	}
+	rep, err := r.Run(ctx, Plan{}, []*Artifact{a})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "run cancelled") {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got >= 16 {
+		t.Fatalf("all %d cells ran despite cancellation", got)
+	}
+	if rep == nil {
+		t.Fatal("cancelled run returned no partial report")
+	}
+	res := rep.Results[0]
+	if len(res.Rows) == 0 || len(res.Rows) >= 16 {
+		t.Fatalf("partial rows = %d, want some but not all", len(res.Rows))
+	}
+	for _, c := range res.Cells {
+		if c.Err != nil && !errors.Is(c.Err, context.Canceled) {
+			t.Fatalf("skipped cell error = %v", c.Err)
+		}
+	}
+	if len(sink.names) != 0 {
+		t.Fatalf("sinks fired on a cancelled run: %v", sink.names)
+	}
+}
+
+// TestRunnerContextTimeout covers the deadline flavor the CLI's
+// -timeout flag uses.
+func TestRunnerContextTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := (&Runner{Parallel: 1}).Run(ctx, Plan{}, []*Artifact{shuffledArtifact("slowpoke", 40, nil)})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunnerObserveReportsEveryCell checks the structured per-cell hook
+// the daemon's SSE stream rides on: one call per cell, monotone done
+// counter, correct cached flags.
+func TestRunnerObserveReportsEveryCell(t *testing.T) {
+	m := NewManifest()
+	var mu sync.Mutex
+	var calls []CellReport
+	var lastDone int
+	r := &Runner{Parallel: 4, Manifest: m, Observe: func(done, total int, rep CellReport) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done != lastDone+1 || total != 6 {
+			t.Errorf("observe counter %d/%d after %d", done, total, lastDone)
+		}
+		lastDone = done
+		calls = append(calls, rep)
+	}}
+	arts := []*Artifact{shuffledArtifact("observed", 6, nil)}
+	if _, err := r.Run(context.Background(), Plan{Seed: 9}, arts); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 6 {
+		t.Fatalf("observe calls = %d, want 6", len(calls))
+	}
+	// Cached rerun still reports every cell, now flagged cached.
+	calls, lastDone = nil, 0
+	if _, err := r.Run(context.Background(), Plan{Seed: 9}, arts); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range calls {
+		if !c.Cached {
+			t.Fatalf("rerun cell %s/%s not cached", c.Artifact, c.Cell)
+		}
 	}
 }
 

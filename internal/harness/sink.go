@@ -41,8 +41,10 @@ type ReplaySink struct {
 	Dir string
 }
 
-// WriteArtifact implements Sink.
-func (s ReplaySink) WriteArtifact(res *ArtifactResult) error {
+// NewArtifactRecord converts an assembled artifact into its versioned
+// replay DTO — the one ReplaySink archives and the service daemon serves
+// as a JSON download.
+func NewArtifactRecord(res *ArtifactResult) *replay.ArtifactRecord {
 	rec := &replay.ArtifactRecord{
 		Version:      replay.ArtifactSchemaVersion,
 		Artifact:     res.Artifact.Name,
@@ -68,6 +70,12 @@ func (s ReplaySink) WriteArtifact(res *ArtifactResult) error {
 		}
 		rec.Cells = append(rec.Cells, cell)
 	}
+	return rec
+}
+
+// WriteArtifact implements Sink.
+func (s ReplaySink) WriteArtifact(res *ArtifactResult) error {
+	rec := NewArtifactRecord(res)
 	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
 		return err
 	}

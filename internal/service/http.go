@@ -1,0 +1,231 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"coherentleak/internal/harness"
+	"coherentleak/internal/replay"
+)
+
+// Handler builds the daemon's HTTP API:
+//
+//	GET    /healthz                            liveness (503 while draining)
+//	GET    /metrics                            Prometheus text exposition
+//	GET    /v1/artifacts                       registry listing with cell counts
+//	POST   /v1/jobs                            submit a job (202; 429 when full)
+//	GET    /v1/jobs                            list jobs in submission order
+//	GET    /v1/jobs/{id}                       one job's state and result links
+//	DELETE /v1/jobs/{id}                       cancel (also POST /v1/jobs/{id}/cancel)
+//	GET    /v1/jobs/{id}/events                Server-Sent Events progress stream
+//	GET    /v1/jobs/{id}/artifacts/{file}      <artifact>.tsv or <artifact>.json
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/artifacts", s.handleArtifacts)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{file}", s.handleDownload)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w, s.Gauges())
+}
+
+// artifactInfo is one registry entry in the listing.
+type artifactInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	File        string `json:"file"`
+	Header      string `json:"header"`
+	QuickCells  int    `json:"quickCells"`
+	FullCells   int    `json:"fullCells"`
+}
+
+func (s *Service) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	var out []artifactInfo
+	for _, a := range s.opts.Registry.Artifacts() {
+		info := artifactInfo{
+			Name:        a.Name,
+			Description: a.Description,
+			File:        a.File,
+			Header:      a.Header,
+		}
+		// Cell planning is cheap (no cell bodies run), so the listing
+		// can report the decomposition width per sizing.
+		for _, sz := range []harness.Sizing{harness.SizingQuick, harness.SizingFull} {
+			if cells, err := a.Cells(harness.Plan{Cfg: *s.opts.BaseConfig, Seed: s.opts.DefaultSeed, Sizing: sz}); err == nil {
+				if sz == harness.SizingQuick {
+					info.QuickCells = len(cells)
+				} else {
+					info.FullCells = len(cells)
+				}
+			}
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"artifacts": out})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "request body: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(&req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter().Seconds())))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	v, _ := s.JobView(job.ID)
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.JobViews()})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.JobView(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Cancel(id) {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	v, _ := s.JobView(id)
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleEvents streams a job's progress as Server-Sent Events. The full
+// per-job history replays first (so late subscribers see every cell),
+// then live events follow until the job reaches a terminal state or the
+// client disconnects.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	history, ch, unsub, ok := s.Subscribe(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	defer unsub()
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	write := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+		if canFlush {
+			flusher.Flush()
+		}
+		return !(ev.Type == "state" && ev.State.Terminal())
+	}
+	for _, ev := range history {
+		if !write(ev) {
+			return
+		}
+	}
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if !write(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleDownload serves an assembled artifact as TSV (byte-identical to
+// the cmd/experiments file output) or as a versioned replay JSON record.
+func (s *Service) handleDownload(w http.ResponseWriter, r *http.Request) {
+	id, file := r.PathValue("id"), r.PathValue("file")
+	name, ext, ok := strings.Cut(file, ".")
+	if !ok || name == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "want <artifact>.tsv or <artifact>.json"})
+		return
+	}
+	res, found := s.Result(id, name)
+	if !found {
+		if _, jobExists := s.Job(id); !jobExists {
+			writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		} else {
+			writeJSON(w, http.StatusNotFound, apiError{Error: "no assembled result for artifact " + name + " (job still running, cancelled early, or artifact not requested)"})
+		}
+		return
+	}
+	switch ext {
+	case "tsv":
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="`+res.Artifact.File+`"`)
+		w.Write(res.TSV())
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		replay.SaveArtifact(w, harness.NewArtifactRecord(res))
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "unknown extension ." + ext + " (want .tsv or .json)"})
+	}
+}

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Metrics aggregates service counters and latency histograms and
+// renders them in the Prometheus text exposition format. It is
+// hand-rolled — the repo takes no dependencies — but the exposed series
+// scrape cleanly with a stock Prometheus server.
+type Metrics struct {
+	mu sync.Mutex
+
+	jobsAccepted uint64
+	jobsRejected uint64
+	jobsByState  map[State]uint64
+
+	cellsExecuted uint64
+	cellsCached   uint64
+	cellsFailed   uint64
+
+	jobSeconds  *histogram
+	cellSeconds map[string]*histogram // per artifact
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		jobsByState: make(map[State]uint64),
+		jobSeconds:  newHistogram(jobBuckets),
+		cellSeconds: make(map[string]*histogram),
+	}
+}
+
+var (
+	// cellBuckets span sub-millisecond cached hits to minute-long full
+	// sweep cells.
+	cellBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60}
+	// jobBuckets span cached-job milliseconds to multi-minute cold runs.
+	jobBuckets = []float64{0.01, 0.05, 0.25, 1, 5, 15, 60, 300, 900}
+)
+
+type histogram struct {
+	buckets []float64 // upper bounds, ascending; +Inf implied
+	counts  []uint64  // len(buckets)+1
+	sum     float64
+	total   uint64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]uint64, len(buckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// JobAccepted counts an admitted job.
+func (m *Metrics) JobAccepted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsAccepted++
+}
+
+// JobRejected counts a 429 admission rejection.
+func (m *Metrics) JobRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsRejected++
+}
+
+// JobFinished records a terminal state and the job's wall time.
+func (m *Metrics) JobFinished(state State, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsByState[state]++
+	m.jobSeconds.observe(seconds)
+}
+
+// CellFinished records one finished cell.
+func (m *Metrics) CellFinished(artifact string, cached bool, failed bool, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case failed:
+		m.cellsFailed++
+	case cached:
+		m.cellsCached++
+	default:
+		m.cellsExecuted++
+	}
+	h, ok := m.cellSeconds[artifact]
+	if !ok {
+		h = newHistogram(cellBuckets)
+		m.cellSeconds[artifact] = h
+	}
+	h.observe(seconds)
+}
+
+// AvgJobSeconds estimates mean job wall time (0 when nothing finished),
+// used to size Retry-After hints.
+func (m *Metrics) AvgJobSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.jobSeconds.total == 0 {
+		return 0
+	}
+	return m.jobSeconds.sum / float64(m.jobSeconds.total)
+}
+
+// Gauges are point-in-time values the service samples at scrape time.
+type Gauges struct {
+	JobsQueued      int
+	JobsRunning     int
+	QueueCapacity   int
+	ManifestEntries int
+}
+
+// WriteTo renders every series. Gauges come from the caller so the
+// registry itself never reaches back into service internals.
+func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP cohsimd_jobs_accepted_total Jobs admitted to the queue.\n# TYPE cohsimd_jobs_accepted_total counter\ncohsimd_jobs_accepted_total %d\n", m.jobsAccepted)
+	fmt.Fprintf(w, "# HELP cohsimd_jobs_rejected_total Jobs rejected with 429 (queue full).\n# TYPE cohsimd_jobs_rejected_total counter\ncohsimd_jobs_rejected_total %d\n", m.jobsRejected)
+
+	fmt.Fprintf(w, "# HELP cohsimd_jobs_finished_total Jobs by terminal state.\n# TYPE cohsimd_jobs_finished_total counter\n")
+	for _, st := range []State{StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "cohsimd_jobs_finished_total{state=%q} %d\n", st, m.jobsByState[st])
+	}
+
+	fmt.Fprintf(w, "# HELP cohsimd_cells_total Cells by outcome.\n# TYPE cohsimd_cells_total counter\n")
+	fmt.Fprintf(w, "cohsimd_cells_total{outcome=\"executed\"} %d\n", m.cellsExecuted)
+	fmt.Fprintf(w, "cohsimd_cells_total{outcome=\"cached\"} %d\n", m.cellsCached)
+	fmt.Fprintf(w, "cohsimd_cells_total{outcome=\"failed\"} %d\n", m.cellsFailed)
+
+	fmt.Fprintf(w, "# HELP cohsimd_jobs_queued Jobs waiting for an executor.\n# TYPE cohsimd_jobs_queued gauge\ncohsimd_jobs_queued %d\n", g.JobsQueued)
+	fmt.Fprintf(w, "# HELP cohsimd_jobs_running Jobs currently executing.\n# TYPE cohsimd_jobs_running gauge\ncohsimd_jobs_running %d\n", g.JobsRunning)
+	fmt.Fprintf(w, "# HELP cohsimd_queue_capacity Bounded queue capacity.\n# TYPE cohsimd_queue_capacity gauge\ncohsimd_queue_capacity %d\n", g.QueueCapacity)
+	fmt.Fprintf(w, "# HELP cohsimd_manifest_entries Cells in the shared manifest cache.\n# TYPE cohsimd_manifest_entries gauge\ncohsimd_manifest_entries %d\n", g.ManifestEntries)
+
+	writeHistogram(w, "cohsimd_job_seconds", "Job wall time by terminal state.", "", m.jobSeconds)
+	names := make([]string, 0, len(m.cellSeconds))
+	for n := range m.cellSeconds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeHistogram(w, "cohsimd_cell_seconds", "Cell wall time per artifact.",
+			fmt.Sprintf("{artifact=%q}", n), m.cellSeconds[n])
+	}
+}
+
+func writeHistogram(w io.Writer, name, help, labels string, h *histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	labelJoin := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return labels[:len(labels)-1] + fmt.Sprintf(",le=%q}", le)
+	}
+	var cum uint64
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelJoin(fmt.Sprintf("%g", ub)), cum)
+	}
+	cum += h.counts[len(h.buckets)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelJoin("+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, h.sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.total)
+}

@@ -1,0 +1,578 @@
+// Package service is the long-lived experiment daemon layered over the
+// internal/harness engine: an HTTP JSON API that exposes the artifact
+// registry, accepts parameterized runs onto a bounded job queue with
+// admission control and per-job cancellation, streams per-cell progress
+// over Server-Sent Events, serves assembled TSV and replay-JSON
+// results, and shares one manifest cell-cache across every job so a
+// repeated request returns in milliseconds. cmd/cohsimd wraps it in a
+// binary; every future scaling layer (sharding, batching, multi-backend
+// dispatch) is meant to plug in behind this API.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"coherentleak/internal/harness"
+	"coherentleak/internal/machine"
+)
+
+// Options configures a Service. Zero values pick sane defaults.
+type Options struct {
+	// Registry supplies the runnable artifacts. Required.
+	Registry *harness.Registry
+	// BaseConfig is the machine every job starts from before JSON
+	// overrides; zero means machine.DefaultConfig().
+	BaseConfig *machine.Config
+	// Manifest is the shared cell cache; nil creates an empty one.
+	Manifest *harness.Manifest
+	// ManifestPath, when set, persists the manifest after every job and
+	// on shutdown (atomic temp-file + rename).
+	ManifestPath string
+	// QueueDepth bounds the admission queue; <=0 means 16.
+	QueueDepth int
+	// Executors is the number of jobs run concurrently; <=0 means 1
+	// (cells within a job already parallelize).
+	Executors int
+	// CellParallel is the Runner worker count per job; <=0 means
+	// GOMAXPROCS.
+	CellParallel int
+	// DefaultTimeout caps jobs that do not request one; <=0 means 15m.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts; <=0 means 2h.
+	MaxTimeout time.Duration
+	// ResultsDir, when set, additionally writes every finished job's
+	// TSVs and replay archives under <ResultsDir>/<jobID>/ via the
+	// harness sinks (results are always downloadable over HTTP).
+	ResultsDir string
+	// DefaultSeed seeds jobs whose requests omit one (the daemon passes
+	// experiments.DefaultSeed so service runs match the CLI).
+	DefaultSeed uint64
+	// DisableCache runs every job cold: the shared manifest is neither
+	// consulted nor updated.
+	DisableCache bool
+	// Log receives one line per lifecycle event; nil discards.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.BaseConfig == nil {
+		cfg := machine.DefaultConfig()
+		o.BaseConfig = &cfg
+	}
+	if o.Manifest == nil {
+		o.Manifest = harness.NewManifest()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.Executors <= 0 {
+		o.Executors = 1
+	}
+	if o.CellParallel <= 0 {
+		o.CellParallel = runtime.GOMAXPROCS(0)
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 15 * time.Minute
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 2 * time.Hour
+	}
+	return o
+}
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull rejects a submit when the bounded queue is at
+	// capacity (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining rejects submits during graceful shutdown (HTTP 503).
+	ErrDraining = errors.New("service: shutting down")
+	// errCancelled is the cancel cause for client cancellation.
+	errCancelled = errors.New("cancelled by client")
+	// errShutdown is the cancel cause for forced shutdown.
+	errShutdown = errors.New("server shutting down")
+)
+
+// Service owns the job table, the bounded queue, and the executor pool.
+type Service struct {
+	opts    Options
+	metrics *Metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	queue    chan *Job
+	queued   int // jobs admitted but not yet picked up
+	running  int
+	draining bool
+	seq      int
+
+	wg sync.WaitGroup
+}
+
+// New starts a Service with its executor pool running.
+func New(opts Options) (*Service, error) {
+	opts = opts.withDefaults()
+	if opts.Registry == nil {
+		return nil, errors.New("service: Options.Registry is required")
+	}
+	if err := opts.BaseConfig.Validate(); err != nil {
+		return nil, fmt.Errorf("service: base config: %w", err)
+	}
+	s := &Service{
+		opts:    opts,
+		metrics: NewMetrics(),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, opts.QueueDepth),
+	}
+	for i := 0; i < opts.Executors; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s, nil
+}
+
+// Metrics exposes the service's metrics registry.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Manifest exposes the shared cell cache (read-mostly: tests and the
+// metrics endpoint ask for its size).
+func (s *Service) Manifest() *harness.Manifest { return s.opts.Manifest }
+
+func (s *Service) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, format+"\n", args...)
+	}
+}
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	// Artifacts lists registry names; empty means every artifact.
+	Artifacts []string `json:"artifacts"`
+	// Seed pins experiment randomness; nil uses the registry default
+	// the caller passes via DefaultSeed below.
+	Seed *uint64 `json:"seed"`
+	// Sizing is "quick" or "full" (default "full", matching the CLI).
+	Sizing string `json:"sizing"`
+	// Config holds partial machine.Config overrides, merged over the
+	// service's base config field-by-field (JSON semantics). Unknown
+	// fields are rejected.
+	Config json.RawMessage `json:"config"`
+	// TimeoutSeconds caps the run; 0 uses the service default.
+	TimeoutSeconds float64 `json:"timeoutSeconds"`
+}
+
+// buildPlan resolves a submit request into a validated plan + artifact
+// selection. Any error here is a client error (HTTP 400).
+func (s *Service) buildPlan(req *SubmitRequest) (harness.Plan, []*harness.Artifact, time.Duration, error) {
+	var zero harness.Plan
+	arts, err := s.opts.Registry.Select(req.Artifacts)
+	if err != nil {
+		return zero, nil, 0, err
+	}
+	cfg := *s.opts.BaseConfig
+	if len(req.Config) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(req.Config))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			return zero, nil, 0, fmt.Errorf("config overrides: %w", err)
+		}
+		if err := cfg.Validate(); err != nil {
+			return zero, nil, 0, fmt.Errorf("config overrides: %w", err)
+		}
+	}
+	var sizing harness.Sizing
+	switch req.Sizing {
+	case "", string(harness.SizingFull):
+		sizing = harness.SizingFull
+	case string(harness.SizingQuick):
+		sizing = harness.SizingQuick
+	default:
+		return zero, nil, 0, fmt.Errorf("sizing %q: want %q or %q", req.Sizing, harness.SizingQuick, harness.SizingFull)
+	}
+	seed := s.opts.DefaultSeed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutSeconds < 0 {
+		return zero, nil, 0, fmt.Errorf("timeoutSeconds %v: must be >= 0", req.TimeoutSeconds)
+	}
+	if req.TimeoutSeconds > 0 {
+		timeout = time.Duration(req.TimeoutSeconds * float64(time.Second))
+		if timeout > s.opts.MaxTimeout {
+			timeout = s.opts.MaxTimeout
+		}
+	}
+	return harness.Plan{Cfg: cfg, Seed: seed, Sizing: sizing}, arts, timeout, nil
+}
+
+// Submit validates and enqueues a job. ErrQueueFull and ErrDraining are
+// admission failures; other errors are invalid requests.
+func (s *Service) Submit(req *SubmitRequest) (*Job, error) {
+	plan, arts, timeout, err := s.buildPlan(req)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(arts))
+	for i, a := range arts {
+		names[i] = a.Name
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.seq),
+		Artifacts: names,
+		Plan:      plan,
+		Timeout:   timeout,
+		Created:   time.Now(),
+		state:     StateQueued,
+		results:   make(map[string]*harness.ArtifactResult),
+		subs:      make(map[int]chan Event),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.metrics.JobRejected()
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.queued++
+	s.metrics.JobAccepted()
+	job.publish(Event{Type: "state", State: StateQueued})
+	s.logf("%s queued: %v seed=%d sizing=%s timeout=%s", job.ID, names, plan.Seed, plan.Sizing, timeout)
+	return job, nil
+}
+
+// RetryAfter estimates how long a rejected client should wait before
+// resubmitting: the mean job duration scaled by the backlog ahead of
+// it, clamped to [1s, 60s].
+func (s *Service) RetryAfter() time.Duration {
+	s.mu.Lock()
+	backlog := s.queued + s.running
+	executors := s.opts.Executors
+	s.mu.Unlock()
+	avg := s.metrics.AvgJobSeconds()
+	if avg <= 0 {
+		avg = 1
+	}
+	est := time.Duration(avg * float64(backlog) / float64(executors) * float64(time.Second))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// Job looks up one job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobViews lists every job in submission order.
+func (s *Service) JobViews() []View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]View, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// JobView renders one job.
+func (s *Service) JobView(id string) (View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return j.view(), true
+}
+
+// Result returns one job's assembled artifact by name.
+func (s *Service) Result(id, artifact string) (*harness.ArtifactResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	res, ok := j.results[artifact]
+	return res, ok
+}
+
+// Cancel cancels a queued or running job. It reports whether the job
+// exists; cancelling a terminal job is a no-op.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	switch j.state {
+	case StateQueued:
+		// The executor will observe the terminal state and skip it.
+		s.finishLocked(j, StateCancelled, "cancelled by client")
+	case StateRunning:
+		j.cancel(errCancelled)
+	}
+	return true
+}
+
+// Subscribe returns a job's event history and live channel (nil channel
+// when the job is terminal), plus an unsubscribe func.
+func (s *Service) Subscribe(id string) (history []Event, ch chan Event, cancel func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, okj := s.jobs[id]
+	if !okj {
+		return nil, nil, nil, false
+	}
+	history, ch, subID := j.subscribe()
+	if ch == nil {
+		return history, nil, func() {}, true
+	}
+	return history, ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		j.unsubscribe(subID)
+	}, true
+}
+
+// Gauges samples point-in-time values for the metrics endpoint.
+func (s *Service) Gauges() Gauges {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Gauges{
+		JobsQueued:      s.queued,
+		JobsRunning:     s.running,
+		QueueCapacity:   s.opts.QueueDepth,
+		ManifestEntries: s.opts.Manifest.Len(),
+	}
+}
+
+// Draining reports whether shutdown has begun (healthz turns 503).
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// finishLocked moves a job to a terminal state. Caller holds s.mu.
+func (s *Service) finishLocked(j *Job, state State, errMsg string) {
+	if j.state.Terminal() {
+		return
+	}
+	if j.started.IsZero() {
+		j.started = j.Created
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.publish(Event{Type: "state", State: state, Error: errMsg})
+	s.metrics.JobFinished(state, j.finished.Sub(j.started).Seconds())
+	s.logf("%s %s%s", j.ID, state, suffixIf(errMsg))
+}
+
+func suffixIf(msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return ": " + msg
+}
+
+// executor drains the queue until Shutdown closes it.
+func (s *Service) executor() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob drives one job through the harness Runner.
+func (s *Service) runJob(j *Job) {
+	s.mu.Lock()
+	s.queued--
+	if j.state.Terminal() {
+		// Cancelled while queued.
+		s.mu.Unlock()
+		return
+	}
+	if s.draining {
+		// Queued jobs are shed on shutdown; only in-flight ones drain.
+		s.finishLocked(j, StateCancelled, errShutdown.Error())
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	tctx, tcancel := context.WithTimeout(ctx, j.Timeout)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	s.running++
+	j.publish(Event{Type: "state", State: StateRunning})
+	s.mu.Unlock()
+	defer tcancel()
+	defer cancel(nil)
+
+	manifest := s.opts.Manifest
+	if s.opts.DisableCache {
+		manifest = nil
+	}
+	runner := &harness.Runner{
+		Parallel: s.opts.CellParallel,
+		Manifest: manifest,
+		Observe: func(done, total int, rep harness.CellReport) {
+			s.observeCell(j, done, total, rep)
+		},
+		Sinks: s.jobSinks(j),
+	}
+	arts, selErr := s.opts.Registry.Select(j.Artifacts)
+	var (
+		report *harness.RunReport
+		runErr error
+	)
+	if selErr != nil {
+		runErr = selErr // registry changed between submit and run; treat as failure
+	} else {
+		report, runErr = runner.Run(tctx, j.Plan, arts)
+	}
+
+	if s.opts.ManifestPath != "" {
+		if err := s.opts.Manifest.Save(s.opts.ManifestPath); err != nil {
+			s.logf("%s: manifest save: %v", j.ID, err)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	j.report = report
+	if report != nil {
+		for _, res := range report.Results {
+			j.results[res.Artifact.Name] = res
+		}
+	}
+	switch {
+	case runErr == nil && (report == nil || report.Failed == 0):
+		s.finishLocked(j, StateDone, "")
+	case context.Cause(tctx) == errCancelled:
+		s.finishLocked(j, StateCancelled, "cancelled by client")
+	case context.Cause(tctx) == errShutdown:
+		s.finishLocked(j, StateCancelled, errShutdown.Error())
+	case tctx.Err() == context.DeadlineExceeded:
+		s.finishLocked(j, StateFailed, fmt.Sprintf("timeout after %s", j.Timeout))
+	case runErr != nil:
+		s.finishLocked(j, StateFailed, runErr.Error())
+	default:
+		s.finishLocked(j, StateFailed, report.Err().Error())
+	}
+}
+
+// observeCell forwards a Runner cell report to metrics and the job's
+// event stream.
+func (s *Service) observeCell(j *Job, done, total int, rep harness.CellReport) {
+	sec := rep.Wall.Seconds()
+	s.metrics.CellFinished(rep.Artifact, rep.Cached, rep.Err != nil, sec)
+	ev := Event{Type: "cell", Cell: &CellEvent{
+		Artifact:   rep.Artifact,
+		Cell:       rep.Cell,
+		Index:      rep.Index,
+		Cached:     rep.Cached,
+		WallMillis: float64(rep.Wall) / float64(time.Millisecond),
+		Rows:       rep.Rows,
+		Done:       done,
+		Total:      total,
+	}}
+	if rep.Err != nil {
+		ev.Cell.Error = rep.Err.Error()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.total = total
+	j.done = done
+	switch {
+	case rep.Err != nil:
+		j.failed++
+	case rep.Cached:
+		j.cached++
+	default:
+		j.executed++
+	}
+	j.publish(ev)
+}
+
+// jobSinks builds the optional per-job on-disk sinks.
+func (s *Service) jobSinks(j *Job) []harness.Sink {
+	if s.opts.ResultsDir == "" {
+		return nil
+	}
+	dir := s.opts.ResultsDir + "/" + j.ID
+	return []harness.Sink{
+		harness.TSVSink{Dir: dir},
+		harness.ReplaySink{Dir: dir + "/replay"},
+	}
+}
+
+// Shutdown drains gracefully: no new submissions, queued-but-unstarted
+// jobs are cancelled, in-flight jobs run to completion (until ctx
+// expires, at which point they are cancelled), and the manifest is
+// persisted. Safe to call once.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var forced error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		s.mu.Lock()
+		for _, id := range s.order {
+			if j := s.jobs[id]; j.state == StateRunning && j.cancel != nil {
+				j.cancel(errShutdown)
+			}
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if s.opts.ManifestPath != "" {
+		if err := s.opts.Manifest.Save(s.opts.ManifestPath); err != nil {
+			return errors.Join(forced, err)
+		}
+	}
+	return forced
+}
