@@ -1,11 +1,14 @@
 # Tier-1 verification targets. `make ci` is what the CI job runs:
 # build + vet + tests, plus a race-detector pass over the harness worker
-# pool and the service daemon (whose integration tests execute real
-# experiment cells in parallel behind httptest).
+# pool, the dispatch fleet, and the service daemon (whose integration
+# tests execute real experiment cells in parallel behind httptest).
 
 GO ?= go
 
-.PHONY: build vet test test-race bench ci run-daemon
+# Worker count for test-dispatch and run-workers.
+N ?= 4
+
+.PHONY: build vet test test-race test-dispatch bench ci run-daemon run-workers
 
 build:
 	$(GO) build ./...
@@ -17,7 +20,16 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/harness/... ./internal/service/...
+	$(GO) test -race ./internal/harness/... ./internal/dispatch/... ./internal/service/...
+
+# Race-checked dispatch integration pass: the fleet coordinator, real
+# worker clients over HTTP, and the service-level fleet tests (worker
+# kill mid-cell, lease reclaim, byte-identity), with N workers attached
+# where a test honours COHSIM_TEST_WORKERS.
+test-dispatch:
+	COHSIM_TEST_WORKERS=$(N) $(GO) test -race -count=1 \
+		-run 'Dispatch|Fleet|Worker|HTTP|Lease|LastEventID' \
+		./internal/dispatch/... ./internal/service/... ./internal/harness/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -28,3 +40,12 @@ ci: build vet test test-race
 # results-daemon/). See EXPERIMENTS.md for the API walkthrough.
 run-daemon:
 	$(GO) run ./cmd/cohsimd -addr :8080 -out results-daemon
+
+# Attach N cohsim-worker processes to a daemon on :8080 and wait.
+# Ctrl-C stops them; each finishes its in-flight cell and deregisters.
+run-workers:
+	@trap 'kill 0' INT TERM; \
+	for i in $$(seq 1 $(N)); do \
+		$(GO) run ./cmd/cohsim-worker -server http://localhost:8080 -name worker-$$i & \
+	done; \
+	wait

@@ -6,19 +6,28 @@
 // replay-JSON results. All jobs share one manifest cell-cache, so a
 // repeated request is served from cache in milliseconds.
 //
+// Jobs execute through the worker-fleet dispatch subsystem: start any
+// number of cohsim-worker processes pointed at this daemon and cells
+// are leased out to them (with timeout-based reclaim and bounded
+// retry); with no workers attached, cells run on the in-process pool
+// exactly as before. GET /v1/workers lists the fleet.
+//
 // Usage:
 //
 //	cohsimd [-addr :8080] [-out results-daemon] [-queue 16] [-jobs 1]
 //	        [-parallel N] [-job-timeout 15m] [-max-timeout 2h]
-//	        [-cache=true] [-persist=true]
+//	        [-cache=true] [-persist=true] [-dispatch=true]
+//	        [-lease-ttl 90s] [-worker-ttl 270s] [-lease-attempts 3]
 //
 // Walkthrough:
 //
 //	cohsimd -addr :8080 &
+//	cohsim-worker -server http://localhost:8080 -name w1 &   # optional fleet
 //	curl localhost:8080/v1/artifacts
 //	curl -X POST localhost:8080/v1/jobs -d '{"artifacts":["table1"],"sizing":"quick"}'
 //	curl localhost:8080/v1/jobs/job-000001/events          # SSE progress
 //	curl localhost:8080/v1/jobs/job-000001/artifacts/table1.tsv
+//	curl localhost:8080/v1/workers                         # fleet state
 //
 // SIGINT/SIGTERM drains gracefully: no new jobs are admitted, queued
 // jobs are shed, in-flight jobs finish (up to -drain-timeout), and the
@@ -55,26 +64,34 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs")
 		cache        = flag.Bool("cache", true, "share the manifest cell cache across jobs")
 		persist      = flag.Bool("persist", true, "persist manifest and per-job TSVs under -out")
+		dispatchOn   = flag.Bool("dispatch", true, "lease cells to attached cohsim-worker processes")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "worker cell lease before reclaim (0 = 90s default)")
+		workerTTL    = flag.Duration("worker-ttl", 0, "silent-worker expiry (0 = 3x lease TTL)")
+		leaseTries   = flag.Int("lease-attempts", 0, "worker attempts per cell before local fallback (0 = 3)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *out, *queue, *jobs, *parallel, *jobTimeout, *maxTimeout, *drainTimeout, *cache, *persist); err != nil {
+	opts := service.Options{
+		Registry:            experiments.Artifacts(),
+		QueueDepth:          *queue,
+		Executors:           *jobs,
+		CellParallel:        *parallel,
+		DefaultTimeout:      *jobTimeout,
+		MaxTimeout:          *maxTimeout,
+		DefaultSeed:         experiments.DefaultSeed,
+		DisableDispatch:     !*dispatchOn,
+		DispatchLeaseTTL:    *leaseTTL,
+		DispatchWorkerTTL:   *workerTTL,
+		DispatchMaxAttempts: *leaseTries,
+		Log:                 os.Stderr,
+	}
+	if err := run(opts, *addr, *out, *drainTimeout, *cache, *persist); err != nil {
 		fmt.Fprintln(os.Stderr, "cohsimd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, out string, queue, jobs, parallel int, jobTimeout, maxTimeout, drainTimeout time.Duration, cache, persist bool) error {
-	opts := service.Options{
-		Registry:       experiments.Artifacts(),
-		QueueDepth:     queue,
-		Executors:      jobs,
-		CellParallel:   parallel,
-		DefaultTimeout: jobTimeout,
-		MaxTimeout:     maxTimeout,
-		DefaultSeed:    experiments.DefaultSeed,
-		Log:            os.Stderr,
-	}
+func run(opts service.Options, addr, out string, drainTimeout time.Duration, cache, persist bool) error {
 	manifestPath := filepath.Join(out, "manifest.json")
 	if persist {
 		if err := os.MkdirAll(out, 0o755); err != nil {
@@ -106,8 +123,8 @@ func run(addr, out string, queue, jobs, parallel int, jobTimeout, maxTimeout, dr
 	server := &http.Server{Addr: addr, Handler: svc.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "cohsimd: listening on %s (queue %d, %d executor(s), %d cells in flight)\n",
-			addr, queue, jobs, parallel)
+		fmt.Fprintf(os.Stderr, "cohsimd: listening on %s (queue %d, %d executor(s), %d cells in flight, dispatch %v)\n",
+			addr, opts.QueueDepth, opts.Executors, opts.CellParallel, !opts.DisableDispatch)
 		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

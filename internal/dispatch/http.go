@@ -1,0 +1,169 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"coherentleak/internal/harness"
+)
+
+// The worker protocol, mounted into the daemon's mux by Routes:
+//
+//	POST   /v1/workers                register {name} -> {workerId, ...}
+//	GET    /v1/workers                list the live fleet
+//	DELETE /v1/workers/{id}           deregister (leases reclaim at once)
+//	POST   /v1/workers/{id}/lease     long-poll for one cell (200 grant | 204)
+//	POST   /v1/workers/{id}/result    report a finished cell
+//	POST   /v1/workers/{id}/heartbeat keep a busy worker alive
+//
+// A 404 from any {id} route means the fleet no longer knows the worker
+// (expired, or the daemon restarted); the client re-registers.
+
+// marshalConfig serializes a plan's machine config for the wire.
+func marshalConfig(p harness.Plan) json.RawMessage {
+	b, err := json.Marshal(p.Cfg)
+	if err != nil {
+		// machine.Config is a plain value struct; Marshal cannot fail.
+		panic(fmt.Sprintf("dispatch: marshal config: %v", err))
+	}
+	return b
+}
+
+// registerRequest is the POST /v1/workers body.
+type registerRequest struct {
+	Name string `json:"name"`
+}
+
+// registerResponse tells a worker its identity and the fleet's timing
+// contract (so clients need no local configuration to behave well).
+type registerResponse struct {
+	WorkerID        string `json:"workerId"`
+	LeaseMillis     int64  `json:"leaseMillis"`
+	WorkerTTLMillis int64  `json:"workerTtlMillis"`
+	PollMillis      int64  `json:"pollMillis"`
+}
+
+// leaseRequest is the POST /v1/workers/{id}/lease body.
+type leaseRequest struct {
+	// WaitMillis caps the long-poll; <=0 uses the server default.
+	WaitMillis int64 `json:"waitMillis"`
+}
+
+// resultResponse acknowledges a report.
+type resultResponse struct {
+	// Duplicate is true when the lease was already reclaimed or settled
+	// and the result was dropped.
+	Duplicate bool `json:"duplicate"`
+}
+
+type wireError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// defaultPollWait caps a long-poll with no explicit wait.
+const defaultPollWait = 15 * time.Second
+
+// Routes mounts the worker protocol onto mux.
+func (f *Fleet) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/workers", f.handleRegister)
+	mux.HandleFunc("GET /v1/workers", f.handleList)
+	mux.HandleFunc("DELETE /v1/workers/{id}", f.handleDeregister)
+	mux.HandleFunc("POST /v1/workers/{id}/lease", f.handleLease)
+	mux.HandleFunc("POST /v1/workers/{id}/result", f.handleResult)
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", f.handleHeartbeat)
+}
+
+func (f *Fleet) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, wireError{Error: "request body: " + err.Error()})
+			return
+		}
+	}
+	id, err := f.Register(req.Name)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, wireError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, registerResponse{
+		WorkerID:        id,
+		LeaseMillis:     f.opts.LeaseTTL.Milliseconds(),
+		WorkerTTLMillis: f.opts.WorkerTTL.Milliseconds(),
+		PollMillis:      defaultPollWait.Milliseconds(),
+	})
+}
+
+func (f *Fleet) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": f.Workers()})
+}
+
+func (f *Fleet) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if err := f.Deregister(r.PathValue("id")); err != nil {
+		writeJSON(w, http.StatusNotFound, wireError{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (f *Fleet) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, wireError{Error: "request body: " + err.Error()})
+			return
+		}
+	}
+	wait := defaultPollWait
+	if req.WaitMillis > 0 {
+		wait = time.Duration(req.WaitMillis) * time.Millisecond
+		if wait > time.Minute {
+			wait = time.Minute
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	g, err := f.Lease(ctx, r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownWorker):
+		writeJSON(w, http.StatusNotFound, wireError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusServiceUnavailable, wireError{Error: err.Error()})
+	case g == nil:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusOK, g)
+	}
+}
+
+func (f *Fleet) handleResult(w http.ResponseWriter, r *http.Request) {
+	var res Result
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "request body: " + err.Error()})
+		return
+	}
+	dup, err := f.Complete(r.PathValue("id"), res)
+	if errors.Is(err, ErrUnknownWorker) {
+		writeJSON(w, http.StatusNotFound, wireError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resultResponse{Duplicate: dup})
+}
+
+func (f *Fleet) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if err := f.Heartbeat(r.PathValue("id")); err != nil {
+		writeJSON(w, http.StatusNotFound, wireError{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

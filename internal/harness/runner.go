@@ -19,10 +19,42 @@ type Sink interface {
 	WriteArtifact(res *ArtifactResult) error
 }
 
+// CellTask identifies one dispatchable cell: everything a remote
+// executor needs to re-derive the cell from a registry (plan, artifact
+// and cell names) plus the in-process body for dispatchers that execute
+// locally. The cell cache is consulted before a task is ever built, so
+// a cached cell is never dispatched anywhere.
+type CellTask struct {
+	Plan         Plan
+	ConfigDigest string
+	Artifact     string
+	Cell         string
+	// Index is the cell's position in its artifact's deterministic order.
+	Index int
+	// Run executes the cell in-process (panic-safe). Remote dispatchers
+	// ignore it and re-plan the cell from the registry instead.
+	Run func() (CellOutput, error)
+}
+
+// Dispatcher executes cells somewhere — in-process, or farmed out to a
+// worker fleet. Dispatch blocks until the cell finishes (or ctx ends)
+// and returns the output plus the identity of the executor ("" means
+// in-process). Implementations must be safe for concurrent calls: the
+// Runner keeps many dispatches in flight.
+type Dispatcher interface {
+	Dispatch(ctx context.Context, t CellTask) (CellOutput, string, error)
+}
+
 // Runner executes artifact cells on a bounded worker pool.
 type Runner struct {
-	// Parallel bounds the cells in flight; <=0 means GOMAXPROCS.
+	// Parallel bounds the cells in flight; <=0 means GOMAXPROCS when
+	// executing locally. When a Dispatcher is set, <=0 means "all cells
+	// at once": the dispatcher's own lease queue is the real bound, and
+	// throttling here would only starve remote workers.
 	Parallel int
+	// Dispatcher, when set, executes cells instead of the local pool.
+	// Nil keeps the default in-process execution path.
+	Dispatcher Dispatcher
 	// Progress receives streaming per-cell completion lines (with
 	// timing) and, at assembly, each cell's deterministic summary
 	// lines. Nil discards them.
@@ -46,6 +78,9 @@ type CellReport struct {
 	// Index is the cell's position in its artifact's deterministic order.
 	Index  int
 	Cached bool
+	// Worker names the remote executor that ran the cell; empty for
+	// in-process execution and cache hits.
+	Worker string
 	Wall   time.Duration
 	Rows   int
 	Err    error
@@ -108,7 +143,11 @@ func (r *RunReport) Err() error {
 func (r *Runner) workers(jobs int) int {
 	n := r.Parallel
 	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+		if r.Dispatcher != nil {
+			n = jobs
+		} else {
+			n = runtime.GOMAXPROCS(0)
+		}
 	}
 	if n > jobs {
 		n = jobs
@@ -193,7 +232,7 @@ func (r *Runner) Run(ctx context.Context, plan Plan, arts []*Artifact) (*RunRepo
 					rep.Artifact, rep.Cell, rep.Index = a.Name, c.Name, j.cell
 					rep.Err = fmt.Errorf("%s/%s: %w", a.Name, c.Name, err)
 				} else {
-					r.runCell(plan, digest, a, c, j.cell, &outputs[j.art][j.cell], rep)
+					r.runCell(ctx, plan, digest, a, c, j.cell, &outputs[j.art][j.cell], rep)
 				}
 				mu.Lock()
 				done++
@@ -279,10 +318,12 @@ func (r *Runner) assemble(plan Plan, digest string, arts []*Artifact, cells [][]
 	return rep, nil
 }
 
-func (r *Runner) runCell(plan Plan, digest string, a *Artifact, c Cell, idx int, out *CellOutput, rep *CellReport) {
+func (r *Runner) runCell(ctx context.Context, plan Plan, digest string, a *Artifact, c Cell, idx int, out *CellOutput, rep *CellReport) {
 	rep.Artifact, rep.Cell, rep.Index = a.Name, c.Name, idx
 	key := a.Name + "/" + c.Name
 	in := cellDigest(digest, plan.Seed, plan.Sizing, a.Name, c.Name)
+	// The cache is consulted before dispatch, not just before local
+	// execution: a cached cell never ships to a remote worker.
 	if r.Manifest != nil {
 		if e, ok := r.Manifest.Lookup(key, in); ok {
 			*out = CellOutput{Rows: e.Rows, Summary: e.Summary}
@@ -292,7 +333,22 @@ func (r *Runner) runCell(plan Plan, digest string, a *Artifact, c Cell, idx int,
 		}
 	}
 	begin := time.Now()
-	o, err := runCellSafely(c)
+	var (
+		o   CellOutput
+		err error
+	)
+	if r.Dispatcher != nil {
+		o, rep.Worker, err = r.Dispatcher.Dispatch(ctx, CellTask{
+			Plan:         plan,
+			ConfigDigest: digest,
+			Artifact:     a.Name,
+			Cell:         c.Name,
+			Index:        idx,
+			Run:          func() (CellOutput, error) { return runCellSafely(c) },
+		})
+	} else {
+		o, err = runCellSafely(c)
+	}
 	rep.Wall = time.Since(begin)
 	if err != nil {
 		rep.Err = fmt.Errorf("%s: %w", key, err)

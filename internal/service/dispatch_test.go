@@ -1,0 +1,369 @@
+package service_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coherentleak/internal/dispatch"
+	"coherentleak/internal/harness"
+	"coherentleak/internal/machine"
+	"coherentleak/internal/service"
+)
+
+// stallOnce hangs one cell's first execution until released, modelling
+// a worker that dies or wedges mid-cell; the retried execution sails
+// through.
+type stallOnce struct {
+	cell    string
+	runs    atomic.Int64
+	release chan struct{}
+}
+
+// fleetRegistry registers "grid": cells whose rows are a pure function
+// of (seed, index), so every executor produces identical bytes.
+func fleetRegistry(cells int, stall *stallOnce) *harness.Registry {
+	reg := harness.NewRegistry()
+	reg.MustRegister(&harness.Artifact{
+		Name: "grid", Description: "deterministic fleet test grid",
+		File: "grid.tsv", Header: "cell\tvalue",
+		Cells: func(p harness.Plan) ([]harness.Cell, error) {
+			out := make([]harness.Cell, cells)
+			for i := range out {
+				name := fmt.Sprintf("g%02d", i)
+				out[i] = harness.Cell{Name: name, Run: func() (harness.CellOutput, error) {
+					if stall != nil && name == stall.cell && stall.runs.Add(1) == 1 {
+						<-stall.release
+					}
+					return harness.CellOutput{
+						Rows: []string{fmt.Sprintf("%s\t%d", name, p.Seed*100+uint64(i))},
+					}, nil
+				}}
+			}
+			return out, nil
+		},
+	})
+	return reg
+}
+
+// attachWorker runs one dispatch.Worker against the test server and
+// returns a kill function. Kill only cancels — a worker wedged inside
+// a stalled cell cannot exit until the cell releases, so the goroutine
+// is awaited in t.Cleanup (after the test's deferred release).
+func attachWorker(t *testing.T, ts *httptest.Server, name string, reg *harness.Registry) (kill func()) {
+	t.Helper()
+	w, err := dispatch.NewWorker(dispatch.WorkerOptions{
+		Server:   ts.URL,
+		Name:     name,
+		Registry: reg,
+		PollWait: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Errorf("worker %s never exited", name)
+		}
+	})
+	return cancel
+}
+
+// workerList fetches GET /v1/workers.
+func workerList(t *testing.T, ts *httptest.Server) []dispatch.WorkerView {
+	t.Helper()
+	code, body := fetch(t, ts, "/v1/workers")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/workers = %d", code)
+	}
+	var out struct {
+		Workers []dispatch.WorkerView `json:"workers"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Workers
+}
+
+func waitWorkers(t *testing.T, ts *httptest.Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(workerList(t, ts)) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached %d workers", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	id    int
+	event string
+	data  string
+}
+
+// readSSE consumes a job's event stream to its end (terminal state),
+// optionally resuming via Last-Event-ID.
+func readSSE(t *testing.T, ts *httptest.Server, jobID string, lastEventID int) []sseEvent {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastEventID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET events = %d", resp.StatusCode)
+	}
+	var events []sseEvent
+	cur := sseEvent{id: -1}
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			cur.id, _ = strconv.Atoi(strings.TrimPrefix(line, "id: "))
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "": // dispatch
+			events = append(events, cur)
+			cur = sseEvent{id: -1}
+		}
+	}
+	return events
+}
+
+// serialGridTSV is the ground truth: the same plan on a serial local
+// runner, bypassing the service entirely.
+func serialGridTSV(t *testing.T, reg *harness.Registry, seed uint64) []byte {
+	t.Helper()
+	r := &harness.Runner{Parallel: 1}
+	rep, err := r.Run(context.Background(), harness.Plan{
+		Cfg: machine.DefaultConfig(), Seed: seed, Sizing: harness.SizingQuick,
+	}, reg.Artifacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Results[0].TSV()
+}
+
+// testFleetSize is the worker count for fleet tests; the CI matrix
+// varies it via COHSIM_TEST_WORKERS (default 4).
+func testFleetSize(t *testing.T) int {
+	t.Helper()
+	v := os.Getenv("COHSIM_TEST_WORKERS")
+	if v == "" {
+		return 4
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("COHSIM_TEST_WORKERS = %q: want a positive integer", v)
+	}
+	return n
+}
+
+// TestFleetWorkersExecuteJob attaches a worker fleet to the daemon and
+// pins the tentpole contract end to end: the job's TSV is
+// byte-identical to a serial in-process run, /v1/workers lists the
+// fleet, SSE cell events carry the executing worker, and the dispatch
+// metrics series appear.
+func TestFleetWorkersExecuteJob(t *testing.T) {
+	fleetSize := testFleetSize(t)
+	reg := fleetRegistry(8, nil)
+	_, ts := newTestServer(t, service.Options{Registry: reg, DefaultSeed: 3})
+
+	workerNames := map[string]bool{}
+	for i := 0; i < fleetSize; i++ {
+		name := fmt.Sprintf("fw%d", i)
+		workerNames[name] = true
+		kill := attachWorker(t, ts, name, reg)
+		defer kill()
+	}
+	waitWorkers(t, ts, fleetSize)
+
+	status, v, _ := postJob(t, ts, `{"artifacts":["grid"],"sizing":"quick"}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d", status)
+	}
+	done := waitState(t, ts, v.ID, service.StateDone)
+	if done.Cells.Executed != 8 || done.Cells.Cached != 0 {
+		t.Fatalf("cells = %+v, want 8 executed", done.Cells)
+	}
+
+	code, tsv := fetch(t, ts, "/v1/jobs/"+v.ID+"/artifacts/grid.tsv")
+	if code != http.StatusOK {
+		t.Fatalf("download = %d", code)
+	}
+	if want := serialGridTSV(t, reg, 3); !bytes.Equal(tsv, want) {
+		t.Fatalf("fleet TSV differs from serial run:\n got: %q\nwant: %q", tsv, want)
+	}
+
+	// Every cell event names a fleet worker.
+	var cellEvents int
+	for _, ev := range readSSE(t, ts, v.ID, -1) {
+		if ev.event != "cell" {
+			continue
+		}
+		cellEvents++
+		var wrapper struct {
+			Cell *service.CellEvent `json:"cell"`
+		}
+		if err := json.Unmarshal([]byte(ev.data), &wrapper); err != nil {
+			t.Fatal(err)
+		}
+		if wrapper.Cell == nil || !workerNames[wrapper.Cell.Worker] {
+			t.Fatalf("cell event without fleet worker: %s", ev.data)
+		}
+	}
+	if cellEvents != 8 {
+		t.Fatalf("cell events = %d, want 8", cellEvents)
+	}
+
+	// The worker listing accounts for every executed cell.
+	var total uint64
+	for _, w := range workerList(t, ts) {
+		total += w.Cells
+	}
+	if total != 8 {
+		t.Fatalf("worker cell counters sum to %d, want 8", total)
+	}
+
+	// Dispatch metrics series render.
+	_, metrics := fetch(t, ts, "/metrics")
+	for _, want := range []string{
+		`cohsimd_worker_cells_total{worker="fw`,
+		fmt.Sprintf("cohsimd_workers_joined_total %d", fleetSize),
+		fmt.Sprintf("cohsimd_workers_live %d", fleetSize),
+		"cohsimd_cell_cache_hit_ratio 0",
+		"cohsimd_dispatch_seconds_count 8",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestFleetWorkerKilledMidJob is the acceptance fault: a worker wedges
+// inside a cell and is killed mid-job; the lease is reclaimed, the
+// surviving worker retries the cell, and the job completes with output
+// byte-identical to a serial run.
+func TestFleetWorkerKilledMidJob(t *testing.T) {
+	stall := &stallOnce{cell: "g00", release: make(chan struct{})}
+	reg := fleetRegistry(6, stall)
+	_, ts := newTestServer(t, service.Options{
+		Registry:         reg,
+		DefaultSeed:      5,
+		DispatchLeaseTTL: 250 * time.Millisecond,
+	})
+
+	// Victim first, alone: with one slot it eventually wedges on g00.
+	killVictim := attachWorker(t, ts, "victim", reg)
+	releaseOnce := sync.OnceFunc(func() { close(stall.release) })
+	defer func() {
+		// Unwedge the victim's goroutine before the server shuts down.
+		releaseOnce()
+		killVictim()
+	}()
+	waitWorkers(t, ts, 1)
+
+	status, v, _ := postJob(t, ts, `{"artifacts":["grid"],"sizing":"quick"}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d", status)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for stall.runs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never reached the stalling cell")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Kill it mid-cell, then attach the survivor.
+	killVictim()
+	killSurvivor := attachWorker(t, ts, "survivor", reg)
+	defer killSurvivor()
+
+	done := waitState(t, ts, v.ID, service.StateDone)
+	if done.Cells.Executed != 6 {
+		t.Fatalf("cells = %+v, want 6 executed", done.Cells)
+	}
+	code, tsv := fetch(t, ts, "/v1/jobs/"+v.ID+"/artifacts/grid.tsv")
+	if code != http.StatusOK {
+		t.Fatalf("download = %d", code)
+	}
+	if want := serialGridTSV(t, reg, 5); !bytes.Equal(tsv, want) {
+		t.Fatalf("TSV after worker kill differs from serial run:\n got: %q\nwant: %q", tsv, want)
+	}
+	_, metrics := fetch(t, ts, "/metrics")
+	if !strings.Contains(string(metrics), "cohsimd_lease_reclaims_total") ||
+		strings.Contains(string(metrics), "cohsimd_lease_reclaims_total 0\n") {
+		t.Fatalf("lease reclaim not recorded:\n%s", metrics)
+	}
+}
+
+// TestSSELastEventIDResume pins the reconnect satellite: a subscriber
+// presenting Last-Event-ID resumes from the next event instead of
+// replaying the whole history.
+func TestSSELastEventIDResume(t *testing.T) {
+	release := make(chan struct{})
+	close(release)
+	_, ts := newTestServer(t, service.Options{Registry: blockingRegistry(2, release), CellParallel: 1})
+
+	status, v, _ := postJob(t, ts, `{"artifacts":["echo"]}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d", status)
+	}
+	waitState(t, ts, v.ID, service.StateDone)
+
+	full := readSSE(t, ts, v.ID, -1)
+	if len(full) < 3 {
+		t.Fatalf("full replay = %d events, want >= 3", len(full))
+	}
+	for i, ev := range full {
+		if ev.id != i {
+			t.Fatalf("event %d has id %d; ids must be dense", i, ev.id)
+		}
+	}
+
+	// Reconnect as if we saw everything but the last event.
+	resumeFrom := full[len(full)-2].id
+	tail := readSSE(t, ts, v.ID, resumeFrom)
+	if len(tail) != 1 || tail[0].id != full[len(full)-1].id {
+		t.Fatalf("resume from %d returned %+v, want exactly the final event", resumeFrom, tail)
+	}
+
+	// A subscriber that saw everything gets nothing replayed (the job is
+	// terminal, so the stream just ends).
+	if again := readSSE(t, ts, v.ID, full[len(full)-1].id); len(again) != 0 {
+		t.Fatalf("fully caught-up resume replayed %+v", again)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"coherentleak/internal/harness"
 	"coherentleak/internal/replay"
@@ -23,6 +25,10 @@ import (
 //	DELETE /v1/jobs/{id}                       cancel (also POST /v1/jobs/{id}/cancel)
 //	GET    /v1/jobs/{id}/events                Server-Sent Events progress stream
 //	GET    /v1/jobs/{id}/artifacts/{file}      <artifact>.tsv or <artifact>.json
+//
+// When dispatch is enabled the worker-fleet protocol mounts alongside:
+// POST/GET /v1/workers, DELETE /v1/workers/{id}, and the per-worker
+// lease / result / heartbeat routes (see internal/dispatch).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -35,11 +41,25 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{file}", s.handleDownload)
+	if s.fleet != nil {
+		s.fleet.Routes(mux)
+	}
 	return mux
 }
 
 type apiError struct {
 	Error string `json:"error"`
+}
+
+// retryAfterSeconds renders a Retry-After hint, rounding UP: truncation
+// would turn a sub-second (or 1.9s) estimate into a hint that tells
+// clients to hammer the queue sooner than the backlog can drain.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -110,7 +130,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(&req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter().Seconds())))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
@@ -148,10 +168,12 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
-// handleEvents streams a job's progress as Server-Sent Events. The full
+// handleEvents streams a job's progress as Server-Sent Events. The
 // per-job history replays first (so late subscribers see every cell),
 // then live events follow until the job reaches a terminal state or the
-// client disconnects.
+// client disconnects. A reconnecting subscriber sends Last-Event-ID
+// (the standard SSE header, mirroring the id: field we emit) and
+// resumes from the next event instead of replaying the full history.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	history, ch, unsub, ok := s.Subscribe(r.PathValue("id"))
 	if !ok {
@@ -159,6 +181,12 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer unsub()
+	lastSeen := -1
+	if v := strings.TrimSpace(r.Header.Get("Last-Event-ID")); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			lastSeen = n
+		}
+	}
 	flusher, canFlush := w.(http.Flusher)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -177,6 +205,9 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return !(ev.Type == "state" && ev.State.Terminal())
 	}
 	for _, ev := range history {
+		if ev.Seq <= lastSeen {
+			continue
+		}
 		if !write(ev) {
 			return
 		}

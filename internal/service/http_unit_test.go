@@ -1,0 +1,30 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSeconds pins the rounding direction: hints round UP and
+// never reach zero, so a busy queue cannot tell clients to retry
+// immediately and hammer it.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{50 * time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{1900 * time.Millisecond, 2},
+		{60 * time.Second, 60},
+		{-time.Second, 1},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%s) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -45,10 +45,13 @@ type Event struct {
 
 // CellEvent reports one finished cell, mirroring harness.CellReport.
 type CellEvent struct {
-	Artifact   string  `json:"artifact"`
-	Cell       string  `json:"cell"`
-	Index      int     `json:"index"`
-	Cached     bool    `json:"cached"`
+	Artifact string `json:"artifact"`
+	Cell     string `json:"cell"`
+	Index    int    `json:"index"`
+	Cached   bool   `json:"cached"`
+	// Worker names the fleet worker that executed the cell; empty for
+	// in-process execution and cache hits.
+	Worker     string  `json:"worker,omitempty"`
 	WallMillis float64 `json:"wallMillis"`
 	Rows       int     `json:"rows"`
 	Error      string  `json:"error,omitempty"`

@@ -10,7 +10,8 @@ import (
 // Metrics aggregates service counters and latency histograms and
 // renders them in the Prometheus text exposition format. It is
 // hand-rolled — the repo takes no dependencies — but the exposed series
-// scrape cleanly with a stock Prometheus server.
+// scrape cleanly with a stock Prometheus server. It also implements
+// dispatch.Observer, so the worker fleet reports straight into it.
 type Metrics struct {
 	mu sync.Mutex
 
@@ -24,14 +25,31 @@ type Metrics struct {
 
 	jobSeconds  *histogram
 	cellSeconds map[string]*histogram // per artifact
+
+	// Worker-fleet dispatch series.
+	workersJoined    uint64
+	workersLeft      uint64
+	workerCells      map[string]*workerCellCounts // per worker
+	leaseReclaims    uint64
+	duplicateResults uint64
+	localFallbacks   uint64
+	dispatchSeconds  *histogram // enqueue -> accepted result
+}
+
+// workerCellCounts splits one worker's accepted results by outcome.
+type workerCellCounts struct {
+	ok     uint64
+	failed uint64
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		jobsByState: make(map[State]uint64),
-		jobSeconds:  newHistogram(jobBuckets),
-		cellSeconds: make(map[string]*histogram),
+		jobsByState:     make(map[State]uint64),
+		jobSeconds:      newHistogram(jobBuckets),
+		cellSeconds:     make(map[string]*histogram),
+		workerCells:     make(map[string]*workerCellCounts),
+		dispatchSeconds: newHistogram(cellBuckets),
 	}
 }
 
@@ -103,6 +121,59 @@ func (m *Metrics) CellFinished(artifact string, cached bool, failed bool, second
 	h.observe(seconds)
 }
 
+// WorkerJoined implements dispatch.Observer.
+func (m *Metrics) WorkerJoined(worker string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workersJoined++
+}
+
+// WorkerLeft implements dispatch.Observer.
+func (m *Metrics) WorkerLeft(worker, reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workersLeft++
+}
+
+// WorkerResult implements dispatch.Observer: per-worker cell counters
+// plus the dispatch latency histogram (enqueue to accepted result).
+func (m *Metrics) WorkerResult(worker string, failed bool, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.workerCells[worker]
+	if !ok {
+		c = &workerCellCounts{}
+		m.workerCells[worker] = c
+	}
+	if failed {
+		c.failed++
+	} else {
+		c.ok++
+	}
+	m.dispatchSeconds.observe(seconds)
+}
+
+// LeaseReclaimed implements dispatch.Observer.
+func (m *Metrics) LeaseReclaimed(worker string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.leaseReclaims++
+}
+
+// DuplicateResult implements dispatch.Observer.
+func (m *Metrics) DuplicateResult(worker string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.duplicateResults++
+}
+
+// LocalFallback implements dispatch.Observer.
+func (m *Metrics) LocalFallback() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.localFallbacks++
+}
+
 // AvgJobSeconds estimates mean job wall time (0 when nothing finished),
 // used to size Retry-After hints.
 func (m *Metrics) AvgJobSeconds() float64 {
@@ -120,6 +191,10 @@ type Gauges struct {
 	JobsRunning     int
 	QueueCapacity   int
 	ManifestEntries int
+	// Worker-fleet samples (zero when dispatch is disabled).
+	WorkersLive        int
+	LeasesInFlight     int
+	DispatchQueueDepth int
 }
 
 // WriteTo renders every series. Gauges come from the caller so the
@@ -141,12 +216,43 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "cohsimd_cells_total{outcome=\"cached\"} %d\n", m.cellsCached)
 	fmt.Fprintf(w, "cohsimd_cells_total{outcome=\"failed\"} %d\n", m.cellsFailed)
 
+	// Cache effectiveness: hits over completed (non-failed) cells, so
+	// dashboards can tell "the fleet is cold" from "the cache is off".
+	ratio := 0.0
+	if n := m.cellsCached + m.cellsExecuted; n > 0 {
+		ratio = float64(m.cellsCached) / float64(n)
+	}
+	fmt.Fprintf(w, "# HELP cohsimd_cell_cache_hit_ratio Manifest cache hits over completed cells.\n# TYPE cohsimd_cell_cache_hit_ratio gauge\ncohsimd_cell_cache_hit_ratio %g\n", ratio)
+
+	fmt.Fprintf(w, "# HELP cohsimd_workers_joined_total Workers registered with the fleet.\n# TYPE cohsimd_workers_joined_total counter\ncohsimd_workers_joined_total %d\n", m.workersJoined)
+	fmt.Fprintf(w, "# HELP cohsimd_workers_left_total Workers deregistered or expired.\n# TYPE cohsimd_workers_left_total counter\ncohsimd_workers_left_total %d\n", m.workersLeft)
+
+	fmt.Fprintf(w, "# HELP cohsimd_worker_cells_total Cells executed per worker by outcome.\n# TYPE cohsimd_worker_cells_total counter\n")
+	workerNames := make([]string, 0, len(m.workerCells))
+	for n := range m.workerCells {
+		workerNames = append(workerNames, n)
+	}
+	sort.Strings(workerNames)
+	for _, n := range workerNames {
+		c := m.workerCells[n]
+		fmt.Fprintf(w, "cohsimd_worker_cells_total{worker=%q,outcome=\"ok\"} %d\n", n, c.ok)
+		fmt.Fprintf(w, "cohsimd_worker_cells_total{worker=%q,outcome=\"failed\"} %d\n", n, c.failed)
+	}
+
+	fmt.Fprintf(w, "# HELP cohsimd_lease_reclaims_total Cell leases reclaimed from dead or overdue workers.\n# TYPE cohsimd_lease_reclaims_total counter\ncohsimd_lease_reclaims_total %d\n", m.leaseReclaims)
+	fmt.Fprintf(w, "# HELP cohsimd_duplicate_results_total Worker results dropped because their lease was reclaimed.\n# TYPE cohsimd_duplicate_results_total counter\ncohsimd_duplicate_results_total %d\n", m.duplicateResults)
+	fmt.Fprintf(w, "# HELP cohsimd_dispatch_local_fallback_total Cells executed in-process by the dispatch fallback.\n# TYPE cohsimd_dispatch_local_fallback_total counter\ncohsimd_dispatch_local_fallback_total %d\n", m.localFallbacks)
+
 	fmt.Fprintf(w, "# HELP cohsimd_jobs_queued Jobs waiting for an executor.\n# TYPE cohsimd_jobs_queued gauge\ncohsimd_jobs_queued %d\n", g.JobsQueued)
 	fmt.Fprintf(w, "# HELP cohsimd_jobs_running Jobs currently executing.\n# TYPE cohsimd_jobs_running gauge\ncohsimd_jobs_running %d\n", g.JobsRunning)
 	fmt.Fprintf(w, "# HELP cohsimd_queue_capacity Bounded queue capacity.\n# TYPE cohsimd_queue_capacity gauge\ncohsimd_queue_capacity %d\n", g.QueueCapacity)
 	fmt.Fprintf(w, "# HELP cohsimd_manifest_entries Cells in the shared manifest cache.\n# TYPE cohsimd_manifest_entries gauge\ncohsimd_manifest_entries %d\n", g.ManifestEntries)
+	fmt.Fprintf(w, "# HELP cohsimd_workers_live Workers currently attached to the fleet.\n# TYPE cohsimd_workers_live gauge\ncohsimd_workers_live %d\n", g.WorkersLive)
+	fmt.Fprintf(w, "# HELP cohsimd_dispatch_leases_in_flight Cells currently leased to workers.\n# TYPE cohsimd_dispatch_leases_in_flight gauge\ncohsimd_dispatch_leases_in_flight %d\n", g.LeasesInFlight)
+	fmt.Fprintf(w, "# HELP cohsimd_dispatch_queue_depth Cells awaiting a worker lease.\n# TYPE cohsimd_dispatch_queue_depth gauge\ncohsimd_dispatch_queue_depth %d\n", g.DispatchQueueDepth)
 
 	writeHistogram(w, "cohsimd_job_seconds", "Job wall time by terminal state.", "", m.jobSeconds)
+	writeHistogram(w, "cohsimd_dispatch_seconds", "Dispatch latency: cell enqueue to accepted worker result.", "", m.dispatchSeconds)
 	names := make([]string, 0, len(m.cellSeconds))
 	for n := range m.cellSeconds {
 		names = append(names, n)

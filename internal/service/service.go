@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"coherentleak/internal/dispatch"
 	"coherentleak/internal/harness"
 	"coherentleak/internal/machine"
 )
@@ -58,6 +59,19 @@ type Options struct {
 	// DisableCache runs every job cold: the shared manifest is neither
 	// consulted nor updated.
 	DisableCache bool
+	// DisableDispatch pins every job to the in-process cell pool even
+	// when workers are attached. Default off: jobs execute through the
+	// worker fleet whenever one is live, falling back to the local pool
+	// otherwise.
+	DisableDispatch bool
+	// DispatchLeaseTTL is how long a worker holds one cell before the
+	// lease reclaims; <=0 means the dispatch default (90s).
+	DispatchLeaseTTL time.Duration
+	// DispatchWorkerTTL expires a silent worker; <=0 means 3×lease TTL.
+	DispatchWorkerTTL time.Duration
+	// DispatchMaxAttempts bounds worker executions per cell before the
+	// in-process fallback; <=0 means the dispatch default (3).
+	DispatchMaxAttempts int
 	// Log receives one line per lifecycle event; nil discards.
 	Log io.Writer
 }
@@ -101,10 +115,14 @@ var (
 	errShutdown = errors.New("server shutting down")
 )
 
-// Service owns the job table, the bounded queue, and the executor pool.
+// Service owns the job table, the bounded queue, the executor pool,
+// and the worker fleet coordinator.
 type Service struct {
 	opts    Options
 	metrics *Metrics
+	// fleet farms cells out to attached cohsim-worker processes; nil
+	// when Options.DisableDispatch is set.
+	fleet *dispatch.Fleet
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -133,12 +151,26 @@ func New(opts Options) (*Service, error) {
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, opts.QueueDepth),
 	}
+	if !opts.DisableDispatch {
+		s.fleet = dispatch.NewFleet(dispatch.Options{
+			LeaseTTL:      opts.DispatchLeaseTTL,
+			WorkerTTL:     opts.DispatchWorkerTTL,
+			MaxAttempts:   opts.DispatchMaxAttempts,
+			LocalParallel: opts.CellParallel,
+			Observer:      s.metrics,
+			Log:           opts.Log,
+		})
+	}
 	for i := 0; i < opts.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
 	}
 	return s, nil
 }
+
+// Fleet exposes the worker-fleet coordinator (nil when dispatch is
+// disabled). Tests and the HTTP layer reach it here.
+func (s *Service) Fleet() *dispatch.Fleet { return s.fleet }
 
 // Metrics exposes the service's metrics registry.
 func (s *Service) Metrics() *Metrics { return s.metrics }
@@ -364,13 +396,20 @@ func (s *Service) Subscribe(id string) (history []Event, ch chan Event, cancel f
 // Gauges samples point-in-time values for the metrics endpoint.
 func (s *Service) Gauges() Gauges {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Gauges{
+	g := Gauges{
 		JobsQueued:      s.queued,
 		JobsRunning:     s.running,
 		QueueCapacity:   s.opts.QueueDepth,
 		ManifestEntries: s.opts.Manifest.Len(),
 	}
+	s.mu.Unlock()
+	if s.fleet != nil {
+		st := s.fleet.Stats()
+		g.WorkersLive = st.LiveWorkers
+		g.LeasesInFlight = st.LeasesInFlight
+		g.DispatchQueueDepth = st.QueueDepth
+	}
+	return g
 }
 
 // Draining reports whether shutdown has begun (healthz turns 503).
@@ -449,6 +488,14 @@ func (s *Service) runJob(j *Job) {
 		},
 		Sinks: s.jobSinks(j),
 	}
+	if s.fleet != nil {
+		// Cells route through the worker fleet (local fallback inside
+		// the fleet stays bounded by CellParallel). Parallel 0 lets the
+		// Runner fan every cell out at once: the fleet's lease queue is
+		// the real bound, and throttling here would starve workers.
+		runner.Dispatcher = s.fleet
+		runner.Parallel = 0
+	}
 	arts, selErr := s.opts.Registry.Select(j.Artifacts)
 	var (
 		report *harness.RunReport
@@ -501,6 +548,7 @@ func (s *Service) observeCell(j *Job, done, total int, rep harness.CellReport) {
 		Cell:       rep.Cell,
 		Index:      rep.Index,
 		Cached:     rep.Cached,
+		Worker:     rep.Worker,
 		WallMillis: float64(rep.Wall) / float64(time.Millisecond),
 		Rows:       rep.Rows,
 		Done:       done,
@@ -568,6 +616,11 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+	}
+	if s.fleet != nil {
+		// After the executors drain there is nothing left to dispatch;
+		// closing the fleet ends worker long-polls and rejects stragglers.
+		s.fleet.Close()
 	}
 	if s.opts.ManifestPath != "" {
 		if err := s.opts.Manifest.Save(s.opts.ManifestPath); err != nil {
