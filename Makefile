@@ -8,7 +8,7 @@ GO ?= go
 # Worker count for test-dispatch and run-workers.
 N ?= 4
 
-.PHONY: build vet test test-race test-dispatch bench ci run-daemon run-workers
+.PHONY: build vet test test-race test-dispatch bench bench-hotpath bench-smoke benchstat staticcheck ci run-daemon run-workers
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,41 @@ test-dispatch:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: build vet test test-race
+# Per-access hot-path benchmarks: the refactored kernel/cache/directory
+# layers must stay at ~0 allocs/op here.
+bench-hotpath:
+	$(GO) test -bench='LoadHit|LoadMiss|StoreRFO' -benchmem -run=^$$ ./internal/machine/
+
+# One-iteration smoke pass over the artifact benchmarks — catches bench
+# bit-rot in CI without paying for stable numbers.
+bench-smoke:
+	$(GO) test -bench=BenchmarkArtifact -benchtime=1x -run=^$$ .
+	$(GO) test -bench='LoadHit|LoadMiss' -benchtime=100x -benchmem -run=^$$ ./internal/machine/
+
+# Compare two `go test -bench` outputs, e.g.:
+#   make bench > old.txt ... make bench > new.txt
+#   make benchstat OLD=old.txt NEW=new.txt
+# Requires benchstat (golang.org/x/perf/cmd/benchstat) on PATH; degrades
+# to a plain diff hint when absent so offline checkouts still work.
+benchstat:
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(OLD) $(NEW); \
+	else \
+		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest);"; \
+		echo "falling back to side-by-side diff:"; \
+		diff -y $(OLD) $(NEW) || true; \
+	fi
+
+# Static analysis beyond go vet. Gated on the tool being present so the
+# offline container and fresh checkouts are not blocked; CI installs it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+ci: build vet staticcheck test test-race
 
 # Start the experiment service daemon on :8080 (state under
 # results-daemon/). See EXPERIMENTS.md for the API walkthrough.

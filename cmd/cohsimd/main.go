@@ -18,6 +18,11 @@
 //	        [-parallel N] [-job-timeout 15m] [-max-timeout 2h]
 //	        [-cache=true] [-persist=true] [-dispatch=true]
 //	        [-lease-ttl 90s] [-worker-ttl 270s] [-lease-attempts 3]
+//	        [-pprof ""]
+//
+// -pprof serves net/http/pprof on its own listener (e.g. -pprof
+// localhost:6060). It is off by default and should stay bound to
+// localhost: the profile endpoints are unauthenticated.
 //
 // Walkthrough:
 //
@@ -40,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -68,8 +74,26 @@ func main() {
 		leaseTTL     = flag.Duration("lease-ttl", 0, "worker cell lease before reclaim (0 = 90s default)")
 		workerTTL    = flag.Duration("worker-ttl", 0, "silent-worker expiry (0 = 3x lease TTL)")
 		leaseTries   = flag.Int("lease-attempts", 0, "worker attempts per cell before local fallback (0 = 3)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the profiling surface is
+		// opt-in and never mixed into the public job API.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "cohsimd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "cohsimd: pprof:", err)
+			}
+		}()
+	}
 
 	opts := service.Options{
 		Registry:            experiments.Artifacts(),

@@ -9,6 +9,7 @@
 //	experiments [-only table1,fig2,fig6,fig7,fig8,fig9,fig10,fig11,peaks,mitigations,capacity]
 //	            [-out results] [-quick] [-seed N] [-parallel N] [-timeout D]
 //	            [-cache=false] [-archive=false] [-list]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // A -timeout (or Ctrl-C / SIGTERM) cancels the run between cells: cells
 // already executing finish, the partial report is printed, and the
@@ -24,6 +25,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -44,8 +46,44 @@ func main() {
 		archive  = flag.Bool("archive", true, "archive replay JSON records under <out>/replay")
 		list     = flag.Bool("list", false, "list registered artifacts and exit")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	// stopProfiles flushes any active profiles; it must run before every
+	// exit path, including the failed-cells os.Exit below.
+	stopProfiles := func() {}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			die(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die(err)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memprof != "" {
+		stopCPU := stopProfiles
+		stopProfiles = func() {
+			stopCPU()
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}
+	}
+	defer stopProfiles()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -110,6 +148,7 @@ func main() {
 		}
 	}
 	if err != nil {
+		stopProfiles()
 		die(err)
 	}
 
@@ -125,6 +164,7 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "experiments: %d cell(s) failed; their rows are missing from the TSVs above\n", report.Failed)
+		stopProfiles()
 		os.Exit(1)
 	}
 }

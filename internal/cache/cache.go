@@ -56,7 +56,10 @@ type Line struct {
 // Valid reports whether the line holds usable data.
 func (l *Line) Valid() bool { return l.State.Valid() }
 
-// ReplacementPolicy selects a victim way within a set.
+// ReplacementPolicy selects a victim way within a set. It is the
+// extension seam for non-default policies (tree-PLRU, random); the
+// built-in LRU default is special-cased inside Cache so the per-access
+// path pays no interface dispatch.
 type ReplacementPolicy interface {
 	// Victim returns the way to evict from set; lines[i] may be invalid,
 	// in which case the policy must prefer it.
@@ -67,13 +70,21 @@ type ReplacementPolicy interface {
 	Name() string
 }
 
-// Cache is a single set-associative cache array.
+// Cache is a single set-associative cache array. Line metadata lives in
+// one contiguous set-major slice (lines[set*ways+way]) so a whole cache
+// is a single allocation and a set probe walks adjacent memory.
 type Cache struct {
-	geo     Geometry
-	sets    [][]Line
-	policy  ReplacementPolicy
+	geo    Geometry
+	lines  []Line // set-major: lines[set*ways : (set+1)*ways] is one set
+	ways   int
+	policy ReplacementPolicy
+	// lruFast marks the built-in LRU policy: the hot path then uses the
+	// package-level lruVictim directly instead of an interface call.
+	lruFast bool
 	clock   uint64 // recency counter for LRU stamps
 	numSets uint64
+	setMask uint64 // numSets-1 when numSets is a power of two
+	pow2    bool
 
 	// Stats accumulates hit/miss/eviction counts.
 	Stats Stats
@@ -94,18 +105,25 @@ func New(geo Geometry, policy ReplacementPolicy) (*Cache, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
+	lruFast := false
 	if policy == nil {
 		policy = NewLRU()
+	}
+	if _, ok := policy.(lru); ok {
+		lruFast = true
 	}
 	sets := geo.Sets()
 	c := &Cache{
 		geo:     geo,
-		sets:    make([][]Line, sets),
+		lines:   make([]Line, sets*geo.Ways),
+		ways:    geo.Ways,
 		policy:  policy,
+		lruFast: lruFast,
 		numSets: uint64(sets),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]Line, geo.Ways)
+	if c.numSets&(c.numSets-1) == 0 {
+		c.pow2 = true
+		c.setMask = c.numSets - 1
 	}
 	return c, nil
 }
@@ -130,15 +148,25 @@ func (c *Cache) Policy() ReplacementPolicy { return c.policy }
 // are not powers of two (the 12288-set Xeon LLC).
 func (c *Cache) index(line uint64) (set uint64, tag uint64) {
 	n := line / LineSize
+	if c.pow2 {
+		return n & c.setMask, n
+	}
 	return n % c.numSets, n
+}
+
+// set returns the ways of set s as a slice of the flat array.
+func (c *Cache) set(s uint64) []Line {
+	base := int(s) * c.ways
+	return c.lines[base : base+c.ways]
 }
 
 // Probe returns the line's state without updating recency, or Invalid if
 // absent. It is the side-effect-free observer used by tests and defenses.
 func (c *Cache) Probe(addr uint64) coherence.State {
 	set, tag := c.index(LineAddr(addr))
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	ways := c.set(set)
+	for i := range ways {
+		l := &ways[i]
 		if l.Valid() && l.Tag == tag {
 			return l.State
 		}
@@ -153,13 +181,15 @@ func (c *Cache) Contains(addr uint64) bool { return c.Probe(addr).Valid() }
 // returns the line for in-place state manipulation, or nil on miss.
 func (c *Cache) Lookup(addr uint64) *Line {
 	set, tag := c.index(LineAddr(addr))
-	ways := c.sets[set]
+	ways := c.set(set)
 	for i := range ways {
 		l := &ways[i]
 		if l.Valid() && l.Tag == tag {
 			c.clock++
 			l.lru = c.clock
-			c.policy.Touch(ways, i)
+			if !c.lruFast {
+				c.policy.Touch(ways, i)
+			}
 			c.Stats.Hits++
 			return l
 		}
@@ -185,7 +215,7 @@ func (c *Cache) Insert(addr uint64, state coherence.State) (ev Evicted, ok bool)
 	}
 	line := LineAddr(addr)
 	set, tag := c.index(line)
-	ways := c.sets[set]
+	ways := c.set(set)
 
 	// Re-fill of a present line just updates state.
 	for i := range ways {
@@ -194,12 +224,19 @@ func (c *Cache) Insert(addr uint64, state coherence.State) (ev Evicted, ok bool)
 			l.State = state
 			c.clock++
 			l.lru = c.clock
-			c.policy.Touch(ways, i)
+			if !c.lruFast {
+				c.policy.Touch(ways, i)
+			}
 			return Evicted{}, false
 		}
 	}
 
-	w := c.policy.Victim(ways)
+	var w int
+	if c.lruFast {
+		w = lruVictim(ways)
+	} else {
+		w = c.policy.Victim(ways)
+	}
 	victim := &ways[w]
 	if victim.Valid() {
 		ev = Evicted{Addr: c.addrOf(set, victim.Tag), State: victim.State}
@@ -208,7 +245,9 @@ func (c *Cache) Insert(addr uint64, state coherence.State) (ev Evicted, ok bool)
 	}
 	c.clock++
 	*victim = Line{Tag: tag, State: state, lru: c.clock}
-	c.policy.Touch(ways, w)
+	if !c.lruFast {
+		c.policy.Touch(ways, w)
+	}
 	c.Stats.Fills++
 	return ev, ok
 }
@@ -224,8 +263,9 @@ func (c *Cache) addrOf(set, tag uint64) uint64 {
 // bookkeeping — callers decide what to do with dirty data first (Probe).
 func (c *Cache) SetState(addr uint64, state coherence.State) bool {
 	set, tag := c.index(LineAddr(addr))
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	ways := c.set(set)
+	for i := range ways {
+		l := &ways[i]
 		if l.Valid() && l.Tag == tag {
 			if state == coherence.Invalid {
 				*l = Line{}
@@ -241,11 +281,18 @@ func (c *Cache) SetState(addr uint64, state coherence.State) bool {
 
 // Invalidate removes addr's line, returning its prior state.
 func (c *Cache) Invalidate(addr uint64) coherence.State {
-	prior := c.Probe(addr)
-	if prior.Valid() {
-		c.SetState(addr, coherence.Invalid)
+	set, tag := c.index(LineAddr(addr))
+	ways := c.set(set)
+	for i := range ways {
+		l := &ways[i]
+		if l.Valid() && l.Tag == tag {
+			prior := l.State
+			*l = Line{}
+			c.Stats.Flushes++
+			return prior
+		}
 	}
-	return prior
+	return coherence.Invalid
 }
 
 // SetAddrs returns every distinct line address that maps to the same set
@@ -253,9 +300,10 @@ func (c *Cache) Invalidate(addr uint64) coherence.State {
 // flushing (the paper's "eviction of all the ways in the set" [12]).
 func (c *Cache) SetAddrs(addr uint64) []uint64 {
 	set, _ := c.index(LineAddr(addr))
+	ways := c.set(set)
 	var out []uint64
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	for i := range ways {
+		l := &ways[i]
 		if l.Valid() {
 			out = append(out, c.addrOf(set, l.Tag))
 		}
@@ -266,11 +314,9 @@ func (c *Cache) SetAddrs(addr uint64) []uint64 {
 // ValidLines returns the number of valid lines across all sets.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for _, ways := range c.sets {
-		for i := range ways {
-			if ways[i].Valid() {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			n++
 		}
 	}
 	return n
@@ -278,11 +324,7 @@ func (c *Cache) ValidLines() int {
 
 // Clear invalidates the whole cache (test helper / machine reset).
 func (c *Cache) Clear() {
-	for _, ways := range c.sets {
-		for i := range ways {
-			ways[i] = Line{}
-		}
-	}
+	clear(c.lines)
 }
 
 // SetIndexOf exposes the set index for addr (for conflict-set workload

@@ -310,6 +310,90 @@ func TestPolicyNames(t *testing.T) {
 	}
 }
 
+// TestSetIndexBoundaries pins the flat-array set mapping at the edges:
+// the masked (power-of-two) and modulo (non-power-of-two) paths must agree
+// with the reference computation for first/last sets and wrap-around, so a
+// refactor of index() cannot silently remap lines.
+func TestSetIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		geo  Geometry
+	}{
+		{"pow2-64sets", Geometry{SizeBytes: 64 * 2 * LineSize, Ways: 2}},
+		{"nonpow2-12288sets", Geometry{SizeBytes: 12 * 1024 * 1024, Ways: 16}}, // the Xeon LLC
+		{"nonpow2-3sets", Geometry{SizeBytes: 3 * 1 * LineSize, Ways: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := MustNew(tc.geo, nil)
+			sets := uint64(tc.geo.Sets())
+			lines := []uint64{
+				0,          // first line of set 0
+				sets - 1,   // last set
+				sets,       // wraps to set 0
+				sets + 1,   // wraps to set 1
+				2*sets - 1, // last set again
+				1<<32 - 1,  // far line number
+				1<<40 + 7,  // beyond any physical address in the testbed
+			}
+			for _, n := range lines {
+				addr := n * LineSize
+				want := n % sets
+				if got := c.SetIndexOf(addr); got != want {
+					t.Errorf("SetIndexOf(line %d) = %d, want %d", n, got, want)
+				}
+				// Sub-line offsets map to the same set.
+				if got := c.SetIndexOf(addr + LineSize - 1); got != want {
+					t.Errorf("sub-line offset remapped set for line %d", n)
+				}
+			}
+			// A full pass over every set: inserting one line per set fills
+			// the cache with no conflicts in either indexing mode.
+			c.Clear()
+			for s := uint64(0); s < sets; s++ {
+				if ev, ok := c.Insert(s*LineSize, coherence.Shared); ok {
+					t.Fatalf("set %d conflicted: evicted %+v", s, ev)
+				}
+			}
+			if got := c.ValidLines(); got != int(sets) {
+				t.Fatalf("one line per set gave %d valid lines, want %d", got, sets)
+			}
+		})
+	}
+}
+
+// TestLRUVictimPrefersInvalidWays pins the devirtualized LRU fast path:
+// with a mix of valid and invalid ways, the victim must be an invalid way
+// (never displacing live data), and once all ways are valid the oldest
+// stamp loses regardless of insertion order.
+func TestLRUVictimPrefersInvalidWays(t *testing.T) {
+	c := MustNew(Geometry{SizeBytes: 1 * 4 * LineSize, Ways: 4}, nil) // 1 set, 4 ways
+	stride := uint64(LineSize)
+	// Fill ways 0..3.
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i*stride, coherence.Shared)
+	}
+	// Invalidate the middle two ways.
+	c.Invalidate(1 * stride)
+	c.Invalidate(2 * stride)
+	// The next two inserts must reuse the invalid ways: no eviction.
+	for _, n := range []uint64{10, 11} {
+		if ev, ok := c.Insert(n*stride, coherence.Shared); ok {
+			t.Fatalf("insert with invalid ways available evicted %+v", ev)
+		}
+	}
+	// Set is full again; the LRU victim is the oldest surviving line (0).
+	ev, ok := c.Insert(12*stride, coherence.Shared)
+	if !ok || ev.Addr != 0 {
+		t.Fatalf("full-set victim = %+v ok=%v, want line 0", ev, ok)
+	}
+	// The package-level lruVictim and the lru policy must agree way-by-way.
+	set := c.set(0)
+	if pv, fv := (lru{}).Victim(set), lruVictim(set); pv != fv {
+		t.Fatalf("policy Victim %d != fast-path victim %d", pv, fv)
+	}
+}
+
 func TestXeonGeometries(t *testing.T) {
 	// The testbed's actual cache shapes must validate.
 	for _, g := range []Geometry{

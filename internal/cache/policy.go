@@ -14,7 +14,12 @@ func (lru) Name() string { return "LRU" }
 
 func (lru) Touch(set []Line, way int) {}
 
-func (lru) Victim(set []Line) int {
+func (lru) Victim(set []Line) int { return lruVictim(set) }
+
+// lruVictim picks the way with the oldest recency stamp, preferring
+// invalid ways. It is shared by the lru policy and Cache's devirtualized
+// fast path, so both select identical victims.
+func lruVictim(set []Line) int {
 	victim := 0
 	var best uint64
 	first := true

@@ -12,12 +12,17 @@ import (
 // the miss must be forwarded to the owner; two or more mean the line is in
 // S and the LLC's clean copy can answer directly.
 //
-// The implementation is a sparse map keyed by line address: entries exist
-// only for lines with at least one sharer or a clean LLC copy, which keeps
-// memory proportional to live lines rather than the address space.
+// The implementation is a sparse map keyed by line address holding the
+// 16-byte entries by value: entries exist only for lines with at least
+// one sharer or a clean LLC copy, which keeps memory proportional to
+// live lines rather than the address space, and the value layout means
+// the steady state allocates nothing and the GC never scans the table
+// (no interior pointers). All mutation goes through the named helpers
+// below; Lookup returns a copy, so writing to the returned entry does
+// not change the directory.
 type Directory struct {
 	cores   int
-	entries map[uint64]*DirEntry
+	entries map[uint64]DirEntry
 }
 
 // DirEntry is the directory's view of one cache line.
@@ -39,62 +44,57 @@ func NewDirectory(cores int) *Directory {
 	if cores <= 0 || cores > 64 {
 		panic(fmt.Sprintf("coherence: directory supports 1..64 cores, got %d", cores))
 	}
-	return &Directory{cores: cores, entries: make(map[uint64]*DirEntry)}
+	return &Directory{cores: cores, entries: make(map[uint64]DirEntry)}
 }
 
 // Cores returns the size of the coherence domain.
 func (d *Directory) Cores() int { return d.cores }
 
-// Lookup returns the entry for line, or nil if the directory has no
-// record (no sharers and no LLC copy).
-func (d *Directory) Lookup(line uint64) *DirEntry {
-	return d.entries[line]
-}
-
-// entry returns the entry for line, creating it if needed.
-func (d *Directory) entry(line uint64) *DirEntry {
-	e := d.entries[line]
-	if e == nil {
-		e = &DirEntry{}
-		d.entries[line] = e
-	}
-	return e
+// Lookup returns a copy of the entry for line; ok is false when the
+// directory has no record (no sharers and no LLC copy). Mutating the
+// returned value does not change the directory — use the mutation
+// helpers (AddSharer, MarkClean, InvalidateLLC, ...) instead.
+func (d *Directory) Lookup(line uint64) (e DirEntry, ok bool) {
+	e, ok = d.entries[line]
+	return e, ok
 }
 
 // SharerCount returns the number of private caches holding line.
 func (d *Directory) SharerCount(line uint64) int {
-	e := d.entries[line]
-	if e == nil {
-		return 0
-	}
-	return bits.OnesCount64(e.Sharers)
+	return bits.OnesCount64(d.entries[line].Sharers)
+}
+
+// SharerMask returns the core-valid bit vector for line (zero when the
+// directory has no record). It is the allocation-free iteration surface
+// for the per-access hot path; callers walk it with bits.TrailingZeros64.
+func (d *Directory) SharerMask(line uint64) uint64 {
+	return d.entries[line].Sharers
 }
 
 // IsSharer reports whether core holds line.
 func (d *Directory) IsSharer(line uint64, core int) bool {
 	d.check(core)
-	e := d.entries[line]
-	return e != nil && e.Sharers&(1<<uint(core)) != 0
+	return d.entries[line].Sharers&(1<<uint(core)) != 0
 }
 
 // SoleSharer returns the single sharer of line, or -1 if the sharer count
 // is not exactly one.
 func (d *Directory) SoleSharer(line uint64) int {
-	e := d.entries[line]
-	if e == nil || bits.OnesCount64(e.Sharers) != 1 {
+	s := d.entries[line].Sharers
+	if bits.OnesCount64(s) != 1 {
 		return -1
 	}
-	return bits.TrailingZeros64(e.Sharers)
+	return bits.TrailingZeros64(s)
 }
 
 // Sharers returns the core indices currently holding line, ascending.
+// It allocates; hot paths iterate SharerMask instead.
 func (d *Directory) Sharers(line uint64) []int {
-	e := d.entries[line]
-	if e == nil {
+	v := d.entries[line].Sharers
+	if v == 0 {
 		return nil
 	}
-	var out []int
-	v := e.Sharers
+	out := make([]int, 0, bits.OnesCount64(v))
 	for v != 0 {
 		c := bits.TrailingZeros64(v)
 		out = append(out, c)
@@ -109,12 +109,13 @@ func (d *Directory) Sharers(line uint64) []int {
 // MarkClean is called.
 func (d *Directory) AddSharer(line uint64, core int) {
 	d.check(core)
-	e := d.entry(line)
+	e := d.entries[line]
 	e.Sharers |= 1 << uint(core)
 	if bits.OnesCount64(e.Sharers) > 1 {
 		// Two or more sharers implies every copy is clean (S state).
 		e.OwnerDirty = false
 	}
+	d.entries[line] = e
 }
 
 // RemoveSharer records that core no longer holds line (eviction or
@@ -122,8 +123,8 @@ func (d *Directory) AddSharer(line uint64, core int) {
 // are garbage-collected.
 func (d *Directory) RemoveSharer(line uint64, core int) {
 	d.check(core)
-	e := d.entries[line]
-	if e == nil {
+	e, ok := d.entries[line]
+	if !ok {
 		return
 	}
 	e.Sharers &^= 1 << uint(core)
@@ -131,36 +132,45 @@ func (d *Directory) RemoveSharer(line uint64, core int) {
 		e.OwnerDirty = false
 		if !e.LLCValid {
 			delete(d.entries, line)
+			return
 		}
 	}
+	d.entries[line] = e
 }
 
 // SetOwnerDirty marks the sole sharer's copy as possibly modified
 // (the line is in E or M in that private cache), meaning the LLC copy may
 // be stale and misses must be forwarded to the owner.
 func (d *Directory) SetOwnerDirty(line uint64) {
-	e := d.entry(line)
+	e := d.entries[line]
 	e.OwnerDirty = true
+	d.entries[line] = e
 }
 
 // MarkClean records that the LLC holds a clean, current copy of the line
 // (after a write-back or a fill from memory).
 func (d *Directory) MarkClean(line uint64) {
-	e := d.entry(line)
+	e := d.entries[line]
 	e.LLCValid = true
 	e.OwnerDirty = false
+	d.entries[line] = e
 }
 
-// InvalidateLLC drops the clean-copy mark (LLC eviction of the line).
+// InvalidateLLC drops the clean-copy mark (LLC eviction of the line, or
+// a store making every LLC copy stale). Entries left with no sharers and
+// no LLC copy are reclaimed, so steady-state runs do not accumulate dead
+// records.
 func (d *Directory) InvalidateLLC(line uint64) {
-	e := d.entries[line]
-	if e == nil {
+	e, ok := d.entries[line]
+	if !ok {
 		return
 	}
 	e.LLCValid = false
 	if e.Sharers == 0 {
 		delete(d.entries, line)
+		return
 	}
+	d.entries[line] = e
 }
 
 // Clear removes every record of line (clflush reaching the directory).
@@ -196,7 +206,7 @@ func (c Census) String() string {
 
 // CensusOf returns the sharer census for line.
 func (d *Directory) CensusOf(line uint64) Census {
-	switch n := d.SharerCount(line); {
+	switch n := bits.OnesCount64(d.entries[line].Sharers); {
 	case n == 0:
 		return CensusNone
 	case n == 1:

@@ -13,8 +13,8 @@ func TestDirectoryEmpty(t *testing.T) {
 	if d.CensusOf(0x40) != CensusNone {
 		t.Error("fresh census should be none")
 	}
-	if d.Lookup(0x40) != nil {
-		t.Error("fresh Lookup should be nil")
+	if _, ok := d.Lookup(0x40); ok {
+		t.Error("fresh Lookup should report absent")
 	}
 	if d.SoleSharer(0x40) != -1 {
 		t.Error("fresh SoleSharer should be -1")
@@ -93,12 +93,12 @@ func TestDirectoryDirtyTracking(t *testing.T) {
 	const line = 0x2000
 	d.AddSharer(line, 0)
 	d.SetOwnerDirty(line)
-	if e := d.Lookup(line); e == nil || !e.OwnerDirty {
+	if e, ok := d.Lookup(line); !ok || !e.OwnerDirty {
 		t.Fatal("owner-dirty not recorded")
 	}
 	// A second sharer implies the line was downgraded to S everywhere.
 	d.AddSharer(line, 1)
-	if e := d.Lookup(line); e.OwnerDirty {
+	if e, _ := d.Lookup(line); e.OwnerDirty {
 		t.Fatal("two sharers must clear owner-dirty")
 	}
 }
@@ -107,7 +107,7 @@ func TestDirectoryLLCValidLifecycle(t *testing.T) {
 	d := NewDirectory(6)
 	const line = 0x3000
 	d.MarkClean(line)
-	if e := d.Lookup(line); e == nil || !e.LLCValid {
+	if e, ok := d.Lookup(line); !ok || !e.LLCValid {
 		t.Fatal("MarkClean not recorded")
 	}
 	// LLC copy alone keeps the entry alive.
@@ -134,8 +134,43 @@ func TestDirectoryClear(t *testing.T) {
 	d.AddSharer(line, 1)
 	d.MarkClean(line)
 	d.Clear(line)
-	if d.SharerCount(line) != 0 || d.Lookup(line) != nil {
+	if _, ok := d.Lookup(line); ok || d.SharerCount(line) != 0 {
 		t.Fatal("Clear left state behind")
+	}
+}
+
+// Lookup returns entries by value: writing to the returned copy must NOT
+// alias directory state, and mutation through the named helpers must be
+// visible to the next Lookup. This pins down the value-map contract that
+// the machine layer relies on.
+func TestDirectoryValueSemantics(t *testing.T) {
+	d := NewDirectory(6)
+	const line = 0x5000
+	d.AddSharer(line, 1)
+	d.MarkClean(line)
+
+	e, ok := d.Lookup(line)
+	if !ok || !e.LLCValid {
+		t.Fatal("setup lookup failed")
+	}
+	// Mutating the returned copy must not leak into the directory.
+	e.LLCValid = false
+	e.Sharers = 0
+	if got, _ := d.Lookup(line); !got.LLCValid || got.Sharers == 0 {
+		t.Fatal("Lookup copy aliases directory state")
+	}
+
+	// Mutation through helpers must be visible to the next Lookup.
+	d.SetOwnerDirty(line)
+	if got, _ := d.Lookup(line); !got.OwnerDirty {
+		t.Fatal("SetOwnerDirty not visible to next Lookup")
+	}
+	d.InvalidateLLC(line)
+	if got, _ := d.Lookup(line); got.LLCValid {
+		t.Fatal("InvalidateLLC not visible to next Lookup")
+	}
+	if d.SharerMask(line) != 1<<1 {
+		t.Fatalf("SharerMask = %b, want bit 1", d.SharerMask(line))
 	}
 }
 

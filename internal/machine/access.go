@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"coherentleak/internal/cache"
 	"coherentleak/internal/coherence"
@@ -21,7 +22,9 @@ type Access struct {
 // The thread's clock advances by the returned latency.
 func (m *Machine) Load(t *sim.Thread, g int, addr uint64) Access {
 	a := m.load(t, g, addr)
-	m.emit(t, g, addr, "load", a)
+	if m.onAccess != nil {
+		m.emit(t, g, addr, "load", a)
+	}
 	return a
 }
 
@@ -203,7 +206,7 @@ func (m *Machine) needsSnoop(line uint64) bool {
 		return true
 	}
 	for _, s := range m.sockets {
-		if s.Dir.Lookup(line) != nil {
+		if _, ok := s.Dir.Lookup(line); ok {
 			return true
 		}
 	}
@@ -213,8 +216,8 @@ func (m *Machine) needsSnoop(line uint64) bool {
 // llcServiceable reports whether sock's LLC can answer a read for line
 // with clean data.
 func (m *Machine) llcServiceable(sock *Socket, line uint64) bool {
-	e := sock.Dir.Lookup(line)
-	return e != nil && e.LLCValid && sock.LLC.Contains(line)
+	e, ok := sock.Dir.Lookup(line)
+	return ok && e.LLCValid && sock.LLC.Contains(line)
 }
 
 // forwardFromLocal runs the owner-forward transaction within requestor's
@@ -235,25 +238,30 @@ func (m *Machine) forwardFromRemote(remote *Socket, requestor *Core, line uint64
 // in sock (normally exactly one, the owner), leaving a clean copy in
 // sock's LLC when the protocol writes back.
 func (m *Machine) downgradeOwner(sock *Socket, line uint64) {
-	for _, local := range sock.Dir.Sharers(line) {
-		core := sock.Cores[local]
-		for _, pc := range []*cache.Cache{core.L1, core.L2} {
-			st := pc.Probe(line)
-			if !st.Valid() {
-				continue
-			}
-			tr := coherence.Apply(m.cfg.Protocol, st, coherence.RemoteRead)
-			pc.SetState(line, tr.Next)
-			if tr.Action == coherence.SupplyAndWriteBack && !m.cfg.ExclusiveLLC {
-				// Exclusive LLCs never take the downgrade copy; dirty
-				// data goes straight to memory instead.
-				m.installLLC(sock, line)
-			}
-		}
+	for mask := sock.Dir.SharerMask(line); mask != 0; mask &= mask - 1 {
+		core := sock.Cores[bits.TrailingZeros64(mask)]
+		m.downgradeIn(sock, core.L1, line)
+		m.downgradeIn(sock, core.L2, line)
 	}
 	// The owner no longer holds the line exclusively; any recorded
 	// silent-upgrade mark is consumed by the write-back.
 	delete(m.upgraded, line)
+}
+
+// downgradeIn applies the RemoteRead transition to pc's copy of line, if
+// any, writing a clean copy back to sock's LLC when the protocol says so.
+func (m *Machine) downgradeIn(sock *Socket, pc *cache.Cache, line uint64) {
+	st := pc.Probe(line)
+	if !st.Valid() {
+		return
+	}
+	tr := coherence.Apply(m.cfg.Protocol, st, coherence.RemoteRead)
+	pc.SetState(line, tr.Next)
+	if tr.Action == coherence.SupplyAndWriteBack && !m.cfg.ExclusiveLLC {
+		// Exclusive LLCs never take the downgrade copy; dirty data goes
+		// straight to memory instead.
+		m.installLLC(sock, line)
+	}
 }
 
 // fillRequestor installs line into the requestor's private caches (and
@@ -296,12 +304,13 @@ func (m *Machine) fillRequestor(core *Core, line uint64, fromForward bool) {
 // demoteForwarders downgrades any existing F copy of line to S.
 func (m *Machine) demoteForwarders(line uint64) {
 	for _, s := range m.sockets {
-		for _, local := range s.Dir.Sharers(line) {
-			core := s.Cores[local]
-			for _, pc := range []*cache.Cache{core.L1, core.L2} {
-				if pc.Probe(line) == coherence.Forward {
-					pc.SetState(line, coherence.Shared)
-				}
+		for mask := s.Dir.SharerMask(line); mask != 0; mask &= mask - 1 {
+			core := s.Cores[bits.TrailingZeros64(mask)]
+			if core.L1.Probe(line) == coherence.Forward {
+				core.L1.SetState(line, coherence.Shared)
+			}
+			if core.L2.Probe(line) == coherence.Forward {
+				core.L2.SetState(line, coherence.Shared)
 			}
 		}
 	}
@@ -358,7 +367,9 @@ func (m *Machine) handleLLCEvict(sock *Socket, ev cache.Evicted) {
 	if m.cfg.InclusiveLLC {
 		// Inclusion forces the private copies out too.
 		evictedPrivate := false
-		for _, local := range sock.Dir.Sharers(ev.Addr) {
+		// Iterate a snapshot of the mask: RemoveSharer mutates the entry.
+		for mask := sock.Dir.SharerMask(ev.Addr); mask != 0; mask &= mask - 1 {
+			local := bits.TrailingZeros64(mask)
 			core := sock.Cores[local]
 			core.L1.Invalidate(ev.Addr)
 			core.L2.Invalidate(ev.Addr)
@@ -376,7 +387,9 @@ func (m *Machine) handleLLCEvict(sock *Socket, ev cache.Evicted) {
 // Store performs a timed write to addr by core g on behalf of thread t.
 func (m *Machine) Store(t *sim.Thread, g int, addr uint64) Access {
 	a := m.store(t, g, addr)
-	m.emit(t, g, addr, "store", a)
+	if m.onAccess != nil {
+		m.emit(t, g, addr, "store", a)
+	}
 	return a
 }
 
@@ -419,11 +432,12 @@ func (m *Machine) store(t *sim.Thread, g int, addr uint64) Access {
 	sock.Dir.AddSharer(line, core.Local)
 	sock.Dir.SetOwnerDirty(line)
 	m.upgraded[line] = true
-	// Every LLC copy is now stale.
+	// Every LLC copy is now stale. InvalidateLLC (rather than a raw
+	// LLCValid clear) also reclaims remote-socket records left with no
+	// sharers after invalidateOthers, so long store-heavy runs do not
+	// accumulate dead directory entries.
 	for _, s := range m.sockets {
-		if e := s.Dir.Lookup(line); e != nil {
-			e.LLCValid = false
-		}
+		s.Dir.InvalidateLLC(line)
 	}
 	return m.finish(t, line, path, base+lat.RFOOverhead+walk)
 }
@@ -432,7 +446,8 @@ func (m *Machine) store(t *sim.Thread, g int, addr uint64) Access {
 // requesting core.
 func (m *Machine) invalidateOthers(requestor *Core, line uint64) {
 	for _, s := range m.sockets {
-		for _, local := range s.Dir.Sharers(line) {
+		for mask := s.Dir.SharerMask(line); mask != 0; mask &= mask - 1 {
+			local := bits.TrailingZeros64(mask)
 			if s.ID == requestor.Socket && local == requestor.Local {
 				continue
 			}
@@ -450,7 +465,9 @@ func (m *Machine) invalidateOthers(requestor *Core, line uint64) {
 // spy flushes read-only shared pages).
 func (m *Machine) Flush(t *sim.Thread, g int, addr uint64) Access {
 	a := m.flushLine(t, g, addr)
-	m.emit(t, g, addr, "flush", a)
+	if m.onAccess != nil {
+		m.emit(t, g, addr, "flush", a)
+	}
 	return a
 }
 
@@ -462,7 +479,8 @@ func (m *Machine) flushLine(t *sim.Thread, g int, addr uint64) Access {
 	m.recordFlushPressure(line, t.Now())
 	dirty := false
 	for _, s := range m.sockets {
-		for _, local := range s.Dir.Sharers(line) {
+		for mask := s.Dir.SharerMask(line); mask != 0; mask &= mask - 1 {
+			local := bits.TrailingZeros64(mask)
 			core := s.Cores[local]
 			if core.L1.Invalidate(line).Dirty() {
 				dirty = true
@@ -566,7 +584,9 @@ func (s *MachineStats) String() string {
 	return out
 }
 
-// emit delivers one completed operation to the observer hook.
+// emit delivers one completed operation to the observer hook. Callers
+// guard on m.onAccess != nil so untraced runs skip event assembly and the
+// call entirely.
 func (m *Machine) emit(t *sim.Thread, g int, addr uint64, op string, a Access) {
 	if m.onAccess == nil {
 		return

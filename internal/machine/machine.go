@@ -8,6 +8,7 @@ package machine
 
 import (
 	"fmt"
+	"math/bits"
 
 	"coherentleak/internal/cache"
 	"coherentleak/internal/coherence"
@@ -269,12 +270,11 @@ func (p Path) String() string {
 func (m *Machine) globalSharers(line uint64, exceptSocket, exceptLocal int) int {
 	n := 0
 	for _, s := range m.sockets {
-		for _, c := range s.Dir.Sharers(line) {
-			if s.ID == exceptSocket && c == exceptLocal {
-				continue
-			}
-			n++
+		mask := s.Dir.SharerMask(line)
+		if s.ID == exceptSocket && exceptLocal >= 0 {
+			mask &^= 1 << uint(exceptLocal)
 		}
+		n += bits.OnesCount64(mask)
 	}
 	return n
 }
@@ -289,7 +289,7 @@ func (m *Machine) anyOtherCopy(line uint64, s int) bool {
 		if sock.Dir.SharerCount(line) > 0 {
 			return true
 		}
-		if e := sock.Dir.Lookup(line); e != nil && e.LLCValid {
+		if e, ok := sock.Dir.Lookup(line); ok && e.LLCValid {
 			return true
 		}
 	}
@@ -328,6 +328,6 @@ func (m *Machine) InvalidationEpoch(addr uint64) uint64 {
 // copy of addr's line.
 func (m *Machine) LLCHasClean(s int, addr uint64) bool {
 	line := cache.LineAddr(addr)
-	e := m.Socket(s).Dir.Lookup(line)
-	return e != nil && e.LLCValid && m.Socket(s).LLC.Contains(line)
+	e, ok := m.Socket(s).Dir.Lookup(line)
+	return ok && e.LLCValid && m.Socket(s).LLC.Contains(line)
 }

@@ -12,7 +12,7 @@ import (
 // always hot), but background workloads with large working sets pay
 // realistic extra latency, and the first-touch cost shows up in traces.
 type tlb struct {
-	entries map[uint64]uint64 // page number -> recency stamp
+	entries []tlbEntry // flat LRU array, at most size entries
 	clock   uint64
 	size    int
 
@@ -20,35 +20,48 @@ type tlb struct {
 	hits, misses uint64
 }
 
+// tlbEntry is one translation: a page number and its recency stamp.
+// Stamps are unique (the clock advances every access), so the LRU victim
+// is always well-defined and deterministic.
+type tlbEntry struct {
+	page, stamp uint64
+}
+
 func newTLB(size int) *tlb {
 	if size <= 0 {
 		size = 64
 	}
-	return &tlb{entries: make(map[uint64]uint64, size), size: size}
+	return &tlb{entries: make([]tlbEntry, 0, size), size: size}
 }
 
 // access touches the TLB for addr and reports whether it missed.
 func (t *tlb) access(addr uint64) bool {
 	page := addr >> 12
 	t.clock++
-	if _, ok := t.entries[page]; ok {
-		t.entries[page] = t.clock
-		t.hits++
-		return false
+	for i := range t.entries {
+		if t.entries[i].page == page {
+			t.entries[i].stamp = t.clock
+			// Move-to-front so the hot probe page is found on the first
+			// comparison next time; eviction order depends only on
+			// stamps, so this changes nothing observable.
+			t.entries[0], t.entries[i] = t.entries[i], t.entries[0]
+			t.hits++
+			return false
+		}
 	}
 	t.misses++
 	if len(t.entries) >= t.size {
 		// Evict the least recently used entry.
-		var victim uint64
-		best := ^uint64(0)
-		for p, stamp := range t.entries {
-			if stamp < best {
-				best, victim = stamp, p
+		victim := 0
+		for i := 1; i < len(t.entries); i++ {
+			if t.entries[i].stamp < t.entries[victim].stamp {
+				victim = i
 			}
 		}
-		delete(t.entries, victim)
+		t.entries[victim] = tlbEntry{page: page, stamp: t.clock}
+		return true
 	}
-	t.entries[page] = t.clock
+	t.entries = append(t.entries, tlbEntry{page: page, stamp: t.clock})
 	return true
 }
 

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"container/heap"
+	"fmt"
+)
 
 type threadState int
 
@@ -69,6 +72,13 @@ func (t *Thread) StopRequested() bool { return t.stopRequested }
 // the scheduler. All simulated work is expressed as Advance calls: a load
 // that hits in the L1 is Advance(4) from the core's point of view.
 //
+// When the advanced thread is still the earliest runnable one — the
+// common case for single-threaded phases and for whichever attack thread
+// currently trails in virtual time — Advance returns without any
+// goroutine switch: the scheduler would have re-selected this thread
+// immediately, so running on is observationally identical and removes
+// the channel park/resume pair from the per-operation cost.
+//
 // Advance panics with an internal sentinel if the thread has been stopped;
 // the sentinel is recovered by the thread wrapper, so thread bodies should
 // not recover it themselves (a recover must re-panic values it does not
@@ -81,7 +91,22 @@ func (t *Thread) Advance(d Cycles) {
 		panic(killed{reason: "stop requested"})
 	}
 	t.time += d
-	t.world.yield <- struct{}{}
+	w := t.world
+	// Inline fast path. The checks mirror one iteration of the central
+	// scheduler loop, in its order: stop predicate, then (time, id)
+	// thread selection, then the cycle limit on the selected thread.
+	if w.running && (w.stopFn == nil || !w.stopFn()) &&
+		(w.cfg.MaxCycles == 0 || t.time <= w.cfg.MaxCycles) {
+		if h := w.peek(); h == nil || t.time < h.time || (t.time == h.time && t.id < h.id) {
+			w.now = t.time
+			return
+		}
+	}
+	// Slow path: another thread is due (or the scheduler must observe a
+	// condition). Park and hand control over.
+	t.state = threadReady
+	heap.Push(&w.queue, t)
+	w.transfer(nil)
 	<-t.resume
 	if t.stopRequested {
 		panic(killed{reason: "stop requested"})
@@ -95,8 +120,9 @@ func (t *Thread) Advance(d Cycles) {
 func (t *Thread) Yield() { t.Advance(0) }
 
 // run is the goroutine wrapper around the thread body. It waits for the
-// first scheduling, executes fn, recovers the kill sentinel, and reports
-// other panics to the scheduler.
+// first scheduling, executes fn, recovers the kill sentinel, and passes
+// control on — directly to the next runnable thread, or to the scheduler
+// when the body panicked (so RunUntil can re-panic the error).
 func (t *Thread) run(fn func(*Thread)) {
 	<-t.resume
 	defer func() {
@@ -106,7 +132,11 @@ func (t *Thread) run(fn func(*Thread)) {
 			}
 		}
 		t.state = threadDone
-		t.world.yield <- struct{}{}
+		if t.err != nil {
+			t.world.transfer(t)
+		} else {
+			t.world.transfer(nil)
+		}
 	}()
 	fn(t)
 }

@@ -8,8 +8,19 @@
 // therefore runs exactly one simulated thread at a time and orders threads
 // by (virtual time, thread id), so a run is a pure function of its
 // configuration and seed. Simulated threads are real goroutines, but they
-// hand control back to the scheduler at every timed operation, so shared
+// hand control back to the kernel at every timed operation, so shared
 // state mutated by thread bodies needs no locking.
+//
+// Two mechanisms keep that handover off the hot path. A thread whose
+// Advance leaves it the earliest runnable thread simply keeps executing —
+// the scheduler would have re-selected it anyway, so no goroutine switch
+// happens at all. When another thread is due, control transfers directly
+// from the yielding thread's goroutine to the next thread's goroutine;
+// the scheduler goroutine parked in RunUntil wakes only for conditions it
+// must observe (stop predicate, thread failure, cycle limit, all threads
+// finished). Both paths select threads by exactly the same (time, id)
+// ordering as a naive central scheduler loop, so schedules — and
+// therefore every derived artifact — are unchanged.
 package sim
 
 import (
@@ -49,15 +60,23 @@ type Config struct {
 // simulated threads deterministically. Create one with NewWorld, add
 // threads with Spawn, then drive them with Run or RunUntil.
 type World struct {
-	cfg     Config
-	rand    *Rand
-	threads []*Thread
-	queue   threadQueue
-	nextID  int
-	now     Cycles
-	running bool
-	yield   chan struct{} // a paused/finished thread signals here
-	stopped bool
+	cfg      Config
+	rand     *Rand
+	threads  []*Thread
+	queue    threadQueue
+	nextID   int
+	now      Cycles
+	running  bool
+	draining bool
+	yield    chan struct{} // wakes the scheduler goroutine parked in RunUntil/Drain
+
+	// stopFn is RunUntil's predicate, stored so the inline fast path and
+	// direct handoffs can honour it at every step, exactly as a central
+	// scheduler loop would.
+	stopFn func() bool
+	// failed records a thread whose body panicked; the scheduler
+	// re-panics its error on the RunUntil goroutine.
+	failed *Thread
 }
 
 // NewWorld returns an empty world.
@@ -65,7 +84,7 @@ func NewWorld(cfg Config) *World {
 	return &World{
 		cfg:   cfg,
 		rand:  NewRand(cfg.Seed),
-		yield: make(chan struct{}),
+		yield: make(chan struct{}, 1),
 	}
 }
 
@@ -94,7 +113,7 @@ func (w *World) Spawn(name string, fn func(*Thread)) *Thread {
 		name:   name,
 		world:  w,
 		time:   w.now,
-		resume: make(chan struct{}),
+		resume: make(chan struct{}, 1),
 		state:  threadReady,
 	}
 	w.nextID++
@@ -118,7 +137,11 @@ func (w *World) RunUntil(stop func() bool) error {
 		panic("sim: World.Run called re-entrantly")
 	}
 	w.running = true
-	defer func() { w.running = false }()
+	w.stopFn = stop
+	defer func() {
+		w.running = false
+		w.stopFn = nil
+	}()
 
 	for {
 		if stop() {
@@ -129,21 +152,57 @@ func (w *World) RunUntil(stop func() bool) error {
 			return nil // all threads finished
 		}
 		if w.cfg.MaxCycles != 0 && t.time > w.cfg.MaxCycles {
+			// Requeue the over-limit thread so a subsequent Drain can
+			// unwind it instead of leaking its goroutine.
+			heap.Push(&w.queue, t)
 			return ErrDeadlock{At: w.cfg.MaxCycles}
 		}
 		w.now = t.time
 		t.state = threadRunning
 		t.resume <- struct{}{}
+		// Threads hand off among themselves; the wake below means a
+		// condition needs this goroutine: stop predicate, empty queue,
+		// cycle limit, or a failed thread.
 		<-w.yield
-		if t.state == threadRunning {
-			// The thread paused itself (Advance) rather than finishing.
-			t.state = threadReady
-			heap.Push(&w.queue, t)
-		}
-		if t.err != nil {
-			panic(t.err)
+		if w.failed != nil {
+			err := w.failed.err
+			w.failed = nil
+			panic(err)
 		}
 	}
+}
+
+// transfer hands control to the next runnable thread directly, or wakes
+// the scheduler goroutine when it must observe a condition (thread
+// failure, stop predicate, empty queue, cycle limit). It is called on
+// the goroutine of a thread that has just parked or finished; exactly
+// one simulated thread executes at any time, so mutating scheduler
+// state here is race-free.
+func (w *World) transfer(failed *Thread) {
+	if failed != nil && !w.draining {
+		w.failed = failed
+		w.yield <- struct{}{}
+		return
+	}
+	if w.stopFn != nil && w.stopFn() {
+		w.yield <- struct{}{}
+		return
+	}
+	next := w.nextRunnable()
+	if next == nil {
+		w.yield <- struct{}{}
+		return
+	}
+	if !w.draining && w.cfg.MaxCycles != 0 && next.time > w.cfg.MaxCycles {
+		// Put the over-limit thread back; the scheduler re-pops it and
+		// reports ErrDeadlock, exactly as the central loop did.
+		heap.Push(&w.queue, next)
+		w.yield <- struct{}{}
+		return
+	}
+	w.now = next.time
+	next.state = threadRunning
+	next.resume <- struct{}{}
 }
 
 // nextRunnable pops the ready thread with the smallest (time, id).
@@ -153,6 +212,17 @@ func (w *World) nextRunnable() *Thread {
 		if t.state == threadReady {
 			return t
 		}
+	}
+	return nil
+}
+
+// peek returns the earliest ready thread without removing it, or nil.
+func (w *World) peek() *Thread {
+	for len(w.queue) > 0 {
+		if t := w.queue[0]; t.state == threadReady {
+			return t
+		}
+		heap.Pop(&w.queue) // stale entry; queue normally holds only ready threads
 	}
 	return nil
 }
@@ -171,7 +241,6 @@ func (w *World) Shutdown() {
 	for _, t := range w.threads {
 		w.StopThread(t)
 	}
-	w.stopped = true
 }
 
 // Drain stops every thread and schedules until all have unwound. Call it
@@ -179,6 +248,8 @@ func (w *World) Shutdown() {
 // before the world is dropped.
 func (w *World) Drain() {
 	w.Shutdown()
+	w.draining = true
+	defer func() { w.draining = false }()
 	for {
 		t := w.nextRunnable()
 		if t == nil {
@@ -187,10 +258,6 @@ func (w *World) Drain() {
 		t.state = threadRunning
 		t.resume <- struct{}{}
 		<-w.yield
-		if t.state == threadRunning {
-			t.state = threadReady
-			heap.Push(&w.queue, t)
-		}
 	}
 }
 
