@@ -8,7 +8,7 @@ GO ?= go
 # Worker count for test-dispatch and run-workers.
 N ?= 4
 
-.PHONY: build vet test test-race test-dispatch bench bench-hotpath bench-smoke benchstat staticcheck ci run-daemon run-workers
+.PHONY: build vet test test-race test-dispatch protocol-smoke bench bench-hotpath bench-smoke benchstat staticcheck ci run-daemon run-workers
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,16 @@ test-dispatch:
 	COHSIM_TEST_WORKERS=$(N) $(GO) test -race -count=1 \
 		-run 'Dispatch|Fleet|Worker|HTTP|Lease|LastEventID' \
 		./internal/dispatch/... ./internal/service/... ./internal/harness/...
+
+# Protocol-engine smoke: build every registered protocol table (the
+# spec validators run at package init), the golden cross-check against
+# the legacy hand-coded state machine, the registry-wide coverage
+# validators, and one protocol × channel matrix cell per protocol at
+# quick sizing.
+protocol-smoke:
+	$(GO) test -count=1 -run 'TestSpecsMatchLegacyApply|TestRegisteredSpecsExhaustiveCoverage|TestSpecValidationRejectsBadTables|TestRegistryLookup' ./internal/coherence/
+	$(GO) run ./cmd/cohsim -protocols
+	$(GO) run ./cmd/experiments -quick -cache=false -only protomatrix -out /tmp/cohsim-protocol-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -68,7 +78,7 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-ci: build vet staticcheck test test-race
+ci: build vet staticcheck test test-race protocol-smoke
 
 # Start the experiment service daemon on :8080 (state under
 # results-daemon/). See EXPERIMENTS.md for the API walkthrough.

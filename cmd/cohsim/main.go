@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	cohsim [-sockets N] [-cores N] [-protocol MESI|MESIF|MOESI]
+//	cohsim [-sockets N] [-cores N] [-protocol NAME] [-protocols]
 //	       [-samples N] [-seed N] [-mitigate-etom] [-mitigate-equalize]
+//
+// -protocol accepts any name in the coherence registry (MESI, MESIF,
+// MOESI, DRAGON, WT-NA out of the box); -protocols lists them.
 package main
 
 import (
@@ -23,7 +26,8 @@ func main() {
 	var (
 		sockets  = flag.Int("sockets", 2, "processor sockets")
 		cores    = flag.Int("cores", 6, "cores per socket")
-		protocol = flag.String("protocol", "MESIF", "coherence protocol: MESI, MESIF or MOESI")
+		protocol  = flag.String("protocol", "MESIF", "coherence protocol (see -protocols)")
+		listProto = flag.Bool("protocols", false, "list registered coherence protocols and exit")
 		samples  = flag.Int("samples", 1000, "timed loads per combination pair")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
 		etom     = flag.Bool("mitigate-etom", false, "enable the E->M notification hardware fix")
@@ -31,20 +35,23 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listProto {
+		for _, p := range coherence.Protocols() {
+			spec := coherence.MustSpec(p)
+			fmt.Printf("%-8s %s\n", spec.Name(), spec.Description())
+		}
+		return
+	}
+
 	cfg := machine.DefaultConfig()
 	cfg.Sockets = *sockets
 	cfg.CoresPerSocket = *cores
-	switch *protocol {
-	case "MESI":
-		cfg.Protocol = coherence.MESI
-	case "MESIF":
-		cfg.Protocol = coherence.MESIF
-	case "MOESI":
-		cfg.Protocol = coherence.MOESI
-	default:
-		fmt.Fprintf(os.Stderr, "cohsim: unknown protocol %q\n", *protocol)
+	spec, err := coherence.SpecFor(coherence.Protocol(*protocol))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cohsim:", err)
 		os.Exit(2)
 	}
+	cfg.Protocol = coherence.Protocol(spec.Name())
 	cfg.Mitigations.LLCNotifiedOfEToM = *etom
 	cfg.Mitigations.EqualizeSocketLatency = *equalize
 	if err := cfg.Validate(); err != nil {

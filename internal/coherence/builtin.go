@@ -1,0 +1,236 @@
+package coherence
+
+// Builtin protocol tables. MESI, MESIF and MOESI restate the historical
+// hand-coded state machine (Sorin, Hill & Wood, "A Primer on Memory
+// Consistency and Cache Coherence", which the paper cites) as data; the
+// golden cross-check test in spec_test.go proves the restatement exact.
+// Dragon and WT-NA exist only as tables — no machine code names them —
+// which is the point of the data-driven engine: protocol variants are
+// registry entries, and the protocol × channel matrix artifact measures
+// which leaks survive each one.
+
+// invalidRow is the shared I-state behaviour of the allocate-on-write
+// protocols: reads and writes to Invalid are misses the controller
+// services via the install/store policies; everything else is a no-op.
+func invalidRow() []Rule {
+	return []Rule{
+		{Invalid, LocalRead, Invalid, NoAction, LatFree},
+		{Invalid, LocalWrite, Modified, NoAction, LatFill},
+		{Invalid, RemoteRead, Invalid, NoAction, LatFree},
+		{Invalid, RemoteWrite, Invalid, NoAction, LatFree},
+		{Invalid, Evict, Invalid, NoAction, LatFree},
+		{Invalid, FlushOp, Invalid, NoAction, LatFree},
+	}
+}
+
+// cleanSharedRow is S under an invalidation protocol: upgrades pay the
+// invalidation round, remote writes invalidate, eviction is free.
+func cleanSharedRow(st State) []Rule {
+	return []Rule{
+		{st, LocalRead, st, NoAction, LatFree},
+		{st, LocalWrite, Modified, NoAction, LatUpgrade},
+		{st, RemoteWrite, Invalid, NoAction, LatFree},
+		{st, Evict, Invalid, NoAction, LatFree},
+		{st, FlushOp, Invalid, NoAction, LatFree},
+	}
+}
+
+// modifiedRow is M minus the RemoteRead transition, which is the one
+// place the MESI-family protocols genuinely differ.
+func modifiedRow() []Rule {
+	return []Rule{
+		{Modified, LocalRead, Modified, NoAction, LatFree},
+		{Modified, LocalWrite, Modified, NoAction, LatStoreHit},
+		{Modified, RemoteWrite, Invalid, SupplyData, LatFree},
+		{Modified, Evict, Invalid, WriteBack, LatWriteBack},
+		{Modified, FlushOp, Invalid, WriteBack, LatWriteBack},
+	}
+}
+
+// exclusiveRow is E minus the RemoteRead transition (MESIF hands the
+// downgraded owner the Forward duty, the others plain S).
+func exclusiveRow() []Rule {
+	return []Rule{
+		{Exclusive, LocalRead, Exclusive, NoAction, LatFree},
+		// Silent upgrade — no bus traffic. This silence is what makes
+		// the paper's hardware mitigation (§VIII-E item 3) a real
+		// protocol change: the LLC is not told about E->M.
+		{Exclusive, LocalWrite, Modified, NoAction, LatStoreHit},
+		{Exclusive, RemoteWrite, Invalid, NoAction, LatFree},
+		{Exclusive, Evict, Invalid, NoAction, LatFree},
+		{Exclusive, FlushOp, Invalid, NoAction, LatFree},
+	}
+}
+
+func concat(groups ...[]Rule) []Rule {
+	var out []Rule
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+var (
+	// SpecMESI is the four-state baseline the paper uses for exposition.
+	SpecMESI = MustRegister(SpecDef{
+		Name:        string(MESI),
+		Description: "four-state invalidation baseline (paper's exposition protocol)",
+		States:      []State{Shared, Exclusive, Modified},
+		Rules: concat(
+			invalidRow(),
+			cleanSharedRow(Shared),
+			[]Rule{{Shared, RemoteRead, Shared, NoAction, LatFree}},
+			exclusiveRow(),
+			// E -> S with a clean copy left at the shared level; the
+			// extra hop is the latency the spy observes (§VI-A).
+			[]Rule{{Exclusive, RemoteRead, Shared, SupplyAndWriteBack, LatFree}},
+			modifiedRow(),
+			[]Rule{{Modified, RemoteRead, Shared, SupplyAndWriteBack, LatFree}},
+		),
+		Install: InstallPolicy{Solo: Exclusive, Shared: Shared, FromOwner: Shared},
+		Store:   StorePolicy{Solo: Modified, Shared: Modified, Allocate: true},
+	})
+
+	// SpecMESIF adds the Forward state (Intel Xeon / QuickPath): the
+	// newest requestor becomes the designated responder.
+	SpecMESIF = MustRegister(SpecDef{
+		Name:        string(MESIF),
+		Description: "MESI plus Forward responder state (Intel Xeon / QuickPath)",
+		States:      []State{Shared, Exclusive, Modified, Forward},
+		Rules: concat(
+			invalidRow(),
+			cleanSharedRow(Shared),
+			[]Rule{{Shared, RemoteRead, Shared, NoAction, LatFree}},
+			exclusiveRow(),
+			// The previous exclusive owner becomes the Forwarder.
+			[]Rule{{Exclusive, RemoteRead, Forward, SupplyAndWriteBack, LatFree}},
+			modifiedRow(),
+			[]Rule{{Modified, RemoteRead, Shared, SupplyAndWriteBack, LatFree}},
+			cleanSharedRow(Forward),
+			// Forwarder supplies data and keeps forwarding duty here
+			// (hardware differs on F migration; either choice preserves
+			// the latency structure).
+			[]Rule{{Forward, RemoteRead, Forward, SupplyData, LatFree}},
+		),
+		Install: InstallPolicy{Solo: Exclusive, Shared: Forward, FromOwner: Shared, Demote: Shared},
+		Store:   StorePolicy{Solo: Modified, Shared: Modified, Allocate: true},
+		Unique:  []State{Forward},
+	})
+
+	// SpecMOESI adds the Owned state (AMD Opteron / HyperTransport):
+	// dirty sharing without the memory write-back.
+	SpecMOESI = MustRegister(SpecDef{
+		Name:        string(MOESI),
+		Description: "MESI plus Owned dirty-sharing state (AMD Opteron / HyperTransport)",
+		States:      []State{Shared, Exclusive, Modified, Owned},
+		Rules: concat(
+			invalidRow(),
+			cleanSharedRow(Shared),
+			[]Rule{{Shared, RemoteRead, Shared, NoAction, LatFree}},
+			exclusiveRow(),
+			[]Rule{{Exclusive, RemoteRead, Shared, SupplyAndWriteBack, LatFree}},
+			modifiedRow(),
+			// MOESI's whole point: avoid the memory write-back on
+			// M -> shared; the owner keeps servicing misses.
+			[]Rule{{Modified, RemoteRead, Owned, SupplyData, LatFree}},
+			[]Rule{
+				{Owned, LocalRead, Owned, NoAction, LatFree},
+				{Owned, LocalWrite, Modified, NoAction, LatUpgrade},
+				{Owned, RemoteRead, Owned, SupplyData, LatFree},
+				// Must hand the dirty data to the writer before
+				// invalidating.
+				{Owned, RemoteWrite, Invalid, SupplyData, LatFree},
+				{Owned, Evict, Invalid, WriteBack, LatWriteBack},
+				{Owned, FlushOp, Invalid, WriteBack, LatWriteBack},
+			},
+		),
+		Install: InstallPolicy{Solo: Exclusive, Shared: Shared, FromOwner: Shared},
+		Store:   StorePolicy{Solo: Modified, Shared: Modified, Allocate: true},
+		Unique:  []State{Owned},
+	})
+
+	// SpecDragon is the Xerox Dragon write-update protocol. S plays Sc
+	// (shared clean) and O plays Sm (shared modified): stores to shared
+	// lines broadcast updates, so sharers keep their copies and the
+	// writer holds dirty-shared ownership instead of exclusivity.
+	SpecDragon = MustRegister(SpecDef{
+		Name:        string(Dragon),
+		Description: "write-update protocol (Xerox Dragon); stores broadcast instead of invalidating",
+		States:      []State{Shared, Exclusive, Modified, Owned},
+		Rules: concat(
+			invalidRow(),
+			[]Rule{
+				{Shared, LocalRead, Shared, NoAction, LatFree},
+				// A write to a shared line is the update broadcast; the
+				// writer becomes Sm (dirty-shared owner).
+				{Shared, LocalWrite, Owned, NoAction, LatUpgrade},
+				{Shared, RemoteRead, Shared, NoAction, LatFree},
+				// The update is received in place: the copy stays valid.
+				{Shared, RemoteWrite, Shared, NoAction, LatFree},
+				{Shared, Evict, Invalid, NoAction, LatFree},
+				{Shared, FlushOp, Invalid, NoAction, LatFree},
+			},
+			[]Rule{
+				{Exclusive, LocalRead, Exclusive, NoAction, LatFree},
+				// Dragon keeps MESI's silent E->M upgrade for sole
+				// copies, so the paper's dual-intent leak survives.
+				{Exclusive, LocalWrite, Modified, NoAction, LatStoreHit},
+				{Exclusive, RemoteRead, Shared, SupplyAndWriteBack, LatFree},
+				// A remote writer's update arrives with the data; the
+				// copy downgrades to shared-clean instead of dying.
+				{Exclusive, RemoteWrite, Shared, NoAction, LatFree},
+				{Exclusive, Evict, Invalid, NoAction, LatFree},
+				{Exclusive, FlushOp, Invalid, NoAction, LatFree},
+			},
+			[]Rule{
+				{Modified, LocalRead, Modified, NoAction, LatFree},
+				{Modified, LocalWrite, Modified, NoAction, LatStoreHit},
+				{Modified, RemoteRead, Owned, SupplyData, LatFree},
+				// Ownership migrates to the remote writer; this copy is
+				// updated in place and is clean again.
+				{Modified, RemoteWrite, Shared, SupplyData, LatFree},
+				{Modified, Evict, Invalid, WriteBack, LatWriteBack},
+				{Modified, FlushOp, Invalid, WriteBack, LatWriteBack},
+			},
+			[]Rule{
+				{Owned, LocalRead, Owned, NoAction, LatFree},
+				// Every store to a shared-modified line re-broadcasts.
+				{Owned, LocalWrite, Owned, NoAction, LatUpgrade},
+				{Owned, RemoteRead, Owned, SupplyData, LatFree},
+				{Owned, RemoteWrite, Shared, SupplyData, LatFree},
+				{Owned, Evict, Invalid, WriteBack, LatWriteBack},
+				{Owned, FlushOp, Invalid, WriteBack, LatWriteBack},
+			},
+		),
+		Install: InstallPolicy{Solo: Exclusive, Shared: Shared, FromOwner: Shared},
+		Store:   StorePolicy{Solo: Modified, Shared: Owned, Allocate: true, Update: true},
+		Unique:  []State{Owned},
+	})
+
+	// SpecWTNA is write-through-no-allocate: every store goes to the
+	// shared level, lines are never dirty, and there is no Exclusive
+	// state to silently upgrade — the LLC can always answer from its
+	// clean copy, collapsing the E/S latency bands the channel needs.
+	SpecWTNA = MustRegister(SpecDef{
+		Name:        string(WTNA),
+		Description: "write-through no-allocate; no dirty or exclusive states, clean-LLC service everywhere",
+		States:      []State{Shared},
+		Rules: []Rule{
+			{Invalid, LocalRead, Invalid, NoAction, LatFree},
+			// No allocate: the write goes to the shared level only.
+			{Invalid, LocalWrite, Invalid, NoAction, LatWriteThrough},
+			{Invalid, RemoteRead, Invalid, NoAction, LatFree},
+			{Invalid, RemoteWrite, Invalid, NoAction, LatFree},
+			{Invalid, Evict, Invalid, NoAction, LatFree},
+			{Invalid, FlushOp, Invalid, NoAction, LatFree},
+			{Shared, LocalRead, Shared, NoAction, LatFree},
+			{Shared, LocalWrite, Shared, NoAction, LatWriteThrough},
+			{Shared, RemoteRead, Shared, NoAction, LatFree},
+			{Shared, RemoteWrite, Invalid, NoAction, LatFree},
+			{Shared, Evict, Invalid, NoAction, LatFree},
+			{Shared, FlushOp, Invalid, NoAction, LatFree},
+		},
+		Install: InstallPolicy{Solo: Shared, Shared: Shared, FromOwner: Shared},
+		Store:   StorePolicy{Solo: Shared, Shared: Shared, Through: true},
+	})
+)

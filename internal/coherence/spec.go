@@ -1,0 +1,394 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// InstallPolicy decides the state a read-miss fill installs in the
+// requestor's private caches.
+type InstallPolicy struct {
+	// Solo is installed when no other cache anywhere holds a copy.
+	Solo State
+	// Shared is installed when other copies exist (MESIF hands the
+	// newest requestor the Forward duty here).
+	Shared State
+	// FromOwner is the state taken when a previous owner supplies the
+	// line and retains its own forwarding duty (F/O stays put).
+	FromOwner State
+	// Demote is the state an existing copy of Shared falls back to when
+	// a new requestor takes over a unique Shared duty (F -> S on MESIF).
+	// Only consulted when Shared is listed unique; defaults to Shared's
+	// non-unique sibling via the spec builder.
+	Demote State
+}
+
+// For returns the install state for a fill that leaves otherCopies other
+// caches holding the line.
+func (ip InstallPolicy) For(otherCopies int) State {
+	if otherCopies == 0 {
+		return ip.Solo
+	}
+	return ip.Shared
+}
+
+// StorePolicy decides how stores interact with the rest of the machine.
+type StorePolicy struct {
+	// Solo is the writer's state when no other valid copy survives the
+	// store (M for invalidation protocols).
+	Solo State
+	// Shared is the writer's state when other copies survive — only
+	// reachable under write-update protocols (Dragon's Sm).
+	Shared State
+	// Allocate fills the line into the writer's caches on a store miss
+	// (write-allocate). When false the write goes to the shared level
+	// only (write-through-no-allocate).
+	Allocate bool
+	// Update propagates stores to other copies instead of invalidating
+	// them; the RemoteWrite row of the table must keep them valid.
+	Update bool
+	// Through pushes every store to the shared level so lines never
+	// become dirty. Requires a protocol with no dirty states.
+	Through bool
+}
+
+// SpecDef is the declarative description a protocol registers.
+type SpecDef struct {
+	// Name is the registry key, matched case-insensitively.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// States are the legal states beyond Invalid (always legal).
+	States []State
+	// Rules is the transition table; every (legal state, event) pair
+	// must be covered exactly once.
+	Rules []Rule
+	// Install is the read-miss fill policy.
+	Install InstallPolicy
+	// Store is the store-side policy.
+	Store StorePolicy
+	// Unique lists states with at-most-one-copy-per-line semantics
+	// beyond the sole-copy ones (F on MESIF, O on MOESI/Dragon).
+	Unique []State
+}
+
+// Rule is one row of a transition table.
+type Rule struct {
+	From    State
+	On      Event
+	Next    State
+	Action  Action
+	Latency LatencyClass
+}
+
+// ProtocolSpec is a validated, immutable protocol: table lookups replace
+// the hand-coded state machine the simulator used to switch on.
+type ProtocolSpec struct {
+	name        string
+	description string
+	states      [NumStates]bool
+	unique      [NumStates]bool
+	table       [NumStates][NumEvents]Transition
+	defined     [NumStates][NumEvents]bool
+	install     InstallPolicy
+	store       StorePolicy
+	silentUp    bool
+}
+
+// NewSpec validates def and builds the immutable spec. The checks mirror
+// the machine-level invariants in internal/machine/invariants.go: full
+// (state, event) coverage, closure inside the protocol's state set, and
+// no transition that silently drops a dirty line.
+func NewSpec(def SpecDef) (*ProtocolSpec, error) {
+	if def.Name == "" {
+		return nil, fmt.Errorf("coherence: spec without a name")
+	}
+	s := &ProtocolSpec{
+		name:        def.Name,
+		description: def.Description,
+		install:     def.Install,
+		store:       def.Store,
+	}
+	s.states[Invalid] = true
+	for _, st := range def.States {
+		if int(st) >= NumStates {
+			return nil, fmt.Errorf("%s: unknown state %v", def.Name, st)
+		}
+		s.states[st] = true
+	}
+	for _, st := range def.Unique {
+		if !s.states[st] {
+			return nil, fmt.Errorf("%s: unique state %v is not a protocol state", def.Name, st)
+		}
+		s.unique[st] = true
+	}
+	// Sole-copy states are unique by definition.
+	for _, st := range []State{Exclusive, Modified} {
+		if s.states[st] {
+			s.unique[st] = true
+		}
+	}
+
+	for _, r := range def.Rules {
+		if int(r.From) >= NumStates || int(r.On) >= NumEvents {
+			return nil, fmt.Errorf("%s: rule %v --%v--> out of range", def.Name, r.From, r.On)
+		}
+		if !s.states[r.From] {
+			return nil, fmt.Errorf("%s: rule from %v, not a protocol state", def.Name, r.From)
+		}
+		if !s.states[r.Next] {
+			return nil, fmt.Errorf("%s: %v --%v--> %v leaves the protocol's state set",
+				def.Name, r.From, r.On, r.Next)
+		}
+		if s.defined[r.From][r.On] {
+			return nil, fmt.Errorf("%s: duplicate rule for (%v, %v)", def.Name, r.From, r.On)
+		}
+		s.defined[r.From][r.On] = true
+		s.table[r.From][r.On] = Transition{Next: r.Next, Action: r.Action, Latency: r.Latency}
+	}
+
+	if err := s.validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", def.Name, err)
+	}
+
+	// A protocol admits silent upgrades when some clean state retires a
+	// store as a pure cache hit while changing state — E's dual intent.
+	// Protocols without one (WT-NA) leave the LLC always able to trust
+	// its clean copy, which is exactly why they kill the channel.
+	for _, st := range s.States() {
+		tr := s.table[st][LocalWrite]
+		if st.Valid() && !st.Dirty() && tr.Latency == LatStoreHit && tr.Next != st {
+			s.silentUp = true
+		}
+	}
+	return s, nil
+}
+
+// validate applies the construction-time checks.
+func (s *ProtocolSpec) validate() error {
+	for _, st := range s.States() {
+		for _, e := range AllEvents() {
+			if !s.defined[st][e] {
+				return fmt.Errorf("no transition for (%v, %v): every (state, event) pair must be covered", st, e)
+			}
+			tr := s.table[st][e]
+			// Dirty data must never be dropped without a write-back or a
+			// hand-off to the requestor.
+			if st.Dirty() && !tr.Next.Dirty() && tr.Action == NoAction {
+				return fmt.Errorf("%v --%v--> %v silently drops dirty data", st, e, tr.Next)
+			}
+			switch e {
+			case LocalRead:
+				// Reads never destroy or mint data: valid states hold,
+				// Invalid stays a miss for the install policy to fill.
+				if tr.Next != st || tr.Action != NoAction {
+					return fmt.Errorf("LocalRead on %v must be a no-op, got %v/%v", st, tr.Next, tr.Action)
+				}
+			case Evict, FlushOp:
+				if tr.Next != Invalid {
+					return fmt.Errorf("%v on %v must leave the cache, got %v", e, st, tr.Next)
+				}
+			case LocalWrite:
+				if st == Invalid {
+					want := LatFill
+					if !s.store.Allocate {
+						want = LatWriteThrough
+					}
+					if tr.Latency != want {
+						return fmt.Errorf("LocalWrite on I has class %v, want %v (allocate=%v)",
+							tr.Latency, want, s.store.Allocate)
+					}
+				} else if tr.Latency != LatStoreHit && tr.Latency != LatUpgrade && tr.Latency != LatWriteThrough {
+					return fmt.Errorf("LocalWrite on %v has class %v, want store-hit, upgrade or write-through", st, tr.Latency)
+				}
+			case RemoteWrite:
+				if s.store.Update {
+					if st.Valid() && !tr.Next.Valid() {
+						return fmt.Errorf("write-update protocol invalidates %v on RemoteWrite", st)
+					}
+				} else if tr.Next != Invalid {
+					return fmt.Errorf("invalidation protocol keeps %v valid on RemoteWrite", st)
+				}
+			}
+		}
+	}
+	for _, p := range []struct {
+		name string
+		st   State
+	}{
+		{"install.solo", s.install.Solo},
+		{"install.shared", s.install.Shared},
+		{"install.fromOwner", s.install.FromOwner},
+		{"store.solo", s.store.Solo},
+		{"store.shared", s.store.Shared},
+	} {
+		if !s.states[p.st] || !p.st.Valid() {
+			return fmt.Errorf("%s state %v is not a valid protocol state", p.name, p.st)
+		}
+	}
+	if s.unique[s.install.Shared] {
+		if !s.states[s.install.Demote] || !s.install.Demote.Valid() || s.unique[s.install.Demote] {
+			return fmt.Errorf("install.shared %v is unique but demote state %v is not a shareable protocol state",
+				s.install.Shared, s.install.Demote)
+		}
+	}
+	if s.store.Allocate {
+		if got := s.table[Invalid][LocalWrite].Next; got != s.store.Solo {
+			return fmt.Errorf("write-allocate store miss lands in %v, want store.solo %v", got, s.store.Solo)
+		}
+	} else if got := s.table[Invalid][LocalWrite].Next; got != Invalid {
+		return fmt.Errorf("no-allocate store miss must stay Invalid, got %v", got)
+	}
+	if s.store.Through {
+		for _, st := range s.States() {
+			if st.Dirty() {
+				return fmt.Errorf("write-through protocol has dirty state %v", st)
+			}
+		}
+	}
+	return nil
+}
+
+// Name returns the registry key.
+func (s *ProtocolSpec) Name() string { return s.name }
+
+// Description returns the one-line summary.
+func (s *ProtocolSpec) Description() string { return s.description }
+
+// Has reports whether the protocol includes state st.
+func (s *ProtocolSpec) Has(st State) bool {
+	return int(st) < NumStates && s.states[st]
+}
+
+// States returns the protocol's legal states, Invalid first.
+func (s *ProtocolSpec) States() []State {
+	out := make([]State, 0, NumStates)
+	for _, st := range AllStates() {
+		if s.states[st] {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Unique reports whether the protocol permits at most one copy of the
+// line in state st (F's forwarding duty, O's ownership, and the
+// sole-copy states).
+func (s *ProtocolSpec) Unique(st State) bool {
+	return int(st) < NumStates && s.unique[st]
+}
+
+// SilentUpgrades reports whether some clean state can retire a store
+// without any bus traffic (MESI's E->M). When false, the shared level
+// can always trust its clean copies — sole-sharer misses need no
+// owner forward.
+func (s *ProtocolSpec) SilentUpgrades() bool { return s.silentUp }
+
+// Install returns the read-miss fill policy.
+func (s *ProtocolSpec) Install() InstallPolicy { return s.install }
+
+// Store returns the store-side policy.
+func (s *ProtocolSpec) Store() StorePolicy { return s.store }
+
+// Apply returns the transition for state st under event e. It panics if
+// st is not a state of the protocol (a protocol implementation bug),
+// mirroring the historical hand-coded state machine.
+func (s *ProtocolSpec) Apply(st State, e Event) Transition {
+	if !s.Has(st) {
+		panic(fmt.Sprintf("coherence: state %v not in protocol %s", st, s.name))
+	}
+	if int(e) >= NumEvents {
+		panic(fmt.Sprintf("coherence: unhandled event %v", e))
+	}
+	return s.table[st][e]
+}
+
+// registry is the process-wide protocol table. Builtins register during
+// init; tests and future callers may add more.
+var registry = struct {
+	mu     sync.RWMutex
+	order  []string
+	byName map[string]*ProtocolSpec
+}{byName: make(map[string]*ProtocolSpec)}
+
+func registryKey(name string) string { return strings.ToUpper(strings.TrimSpace(name)) }
+
+// Register validates def and adds it to the registry. Registering a
+// duplicate name is an error.
+func Register(def SpecDef) (*ProtocolSpec, error) {
+	spec, err := NewSpec(def)
+	if err != nil {
+		return nil, err
+	}
+	key := registryKey(def.Name)
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.byName[key]; dup {
+		return nil, fmt.Errorf("coherence: protocol %q already registered", def.Name)
+	}
+	registry.byName[key] = spec
+	registry.order = append(registry.order, key)
+	return spec, nil
+}
+
+// MustRegister is Register that panics on error (builtin tables).
+func MustRegister(def SpecDef) *ProtocolSpec {
+	spec, err := Register(def)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// SpecFor resolves a protocol name to its registered spec. The empty
+// name selects MESI (the historical zero value); lookup is
+// case-insensitive. Unknown names return an error listing the valid
+// protocols.
+func SpecFor(p Protocol) (*ProtocolSpec, error) {
+	name := registryKey(string(p))
+	if name == "" {
+		name = string(MESI)
+	}
+	registry.mu.RLock()
+	spec, ok := registry.byName[name]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("coherence: unknown protocol %q (valid: %s)",
+			string(p), strings.Join(protocolNames(), ", "))
+	}
+	return spec, nil
+}
+
+// MustSpec is SpecFor that panics on unknown names; callers validate
+// user-supplied names via machine.Config.Validate first.
+func MustSpec(p Protocol) *ProtocolSpec {
+	spec, err := SpecFor(p)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// Protocols returns the registered protocol names in registration order
+// (builtins first), so matrix sweeps iterate deterministically.
+func Protocols() []Protocol {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]Protocol, len(registry.order))
+	for i, name := range registry.order {
+		out[i] = Protocol(name)
+	}
+	return out
+}
+
+// protocolNames returns the sorted registered names for error messages.
+// Callers hold no lock.
+func protocolNames() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := append([]string(nil), registry.order...)
+	sort.Strings(out)
+	return out
+}

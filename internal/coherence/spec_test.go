@@ -1,0 +1,315 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+)
+
+// legacyProtocol mirrors the pre-table enum so the golden reference below
+// stays a verbatim copy of the deleted hand-coded state machine.
+type legacyProtocol uint8
+
+const (
+	legacyMESI legacyProtocol = iota
+	legacyMESIF
+	legacyMOESI
+)
+
+func (p legacyProtocol) has(s State) bool {
+	switch s {
+	case Forward:
+		return p == legacyMESIF
+	case Owned:
+		return p == legacyMOESI
+	default:
+		return true
+	}
+}
+
+// legacyApply is the hand-coded transition function this PR replaced with
+// tables, kept verbatim (minus the latency class the old code never had)
+// as the golden reference. Do not edit it to make the tables pass — fix
+// the tables in builtin.go instead.
+func legacyApply(p legacyProtocol, s State, e Event) Transition {
+	switch e {
+	case LocalRead:
+		if s == Invalid {
+			return Transition{Next: Invalid, Action: NoAction}
+		}
+		return Transition{Next: s, Action: NoAction}
+
+	case LocalWrite:
+		switch s {
+		case Invalid:
+			return Transition{Next: Modified, Action: NoAction}
+		case Shared, Forward, Owned:
+			return Transition{Next: Modified, Action: NoAction}
+		case Exclusive:
+			return Transition{Next: Modified, Action: NoAction}
+		case Modified:
+			return Transition{Next: Modified, Action: NoAction}
+		}
+
+	case RemoteRead:
+		switch s {
+		case Invalid:
+			return Transition{Next: Invalid, Action: NoAction}
+		case Shared:
+			return Transition{Next: Shared, Action: NoAction}
+		case Exclusive:
+			if p == legacyMESIF {
+				return Transition{Next: Forward, Action: SupplyAndWriteBack}
+			}
+			return Transition{Next: Shared, Action: SupplyAndWriteBack}
+		case Modified:
+			if p == legacyMOESI {
+				return Transition{Next: Owned, Action: SupplyData}
+			}
+			return Transition{Next: Shared, Action: SupplyAndWriteBack}
+		case Forward:
+			return Transition{Next: Forward, Action: SupplyData}
+		case Owned:
+			return Transition{Next: Owned, Action: SupplyData}
+		}
+
+	case RemoteWrite:
+		switch s {
+		case Invalid:
+			return Transition{Next: Invalid, Action: NoAction}
+		case Modified, Owned:
+			return Transition{Next: Invalid, Action: SupplyData}
+		default:
+			return Transition{Next: Invalid, Action: NoAction}
+		}
+
+	case Evict, FlushOp:
+		if s.Dirty() {
+			return Transition{Next: Invalid, Action: WriteBack}
+		}
+		return Transition{Next: Invalid, Action: NoAction}
+	}
+	panic("legacyApply: unhandled event")
+}
+
+// legacyInstallState is the deleted read-miss fill rule, kept verbatim.
+func legacyInstallState(p legacyProtocol, otherSharers int) State {
+	if otherSharers == 0 {
+		return Exclusive
+	}
+	if p == legacyMESIF {
+		return Forward
+	}
+	return Shared
+}
+
+// The golden cross-check the refactor was gated on: for every (protocol,
+// state, event) triple of the three shipped protocols, the table-driven
+// Apply must reproduce the hand-coded implementation exactly.
+func TestSpecsMatchLegacyApply(t *testing.T) {
+	pairs := []struct {
+		spec   *ProtocolSpec
+		legacy legacyProtocol
+	}{
+		{SpecMESI, legacyMESI},
+		{SpecMESIF, legacyMESIF},
+		{SpecMOESI, legacyMOESI},
+	}
+	for _, pair := range pairs {
+		for _, s := range AllStates() {
+			if !pair.legacy.has(s) {
+				continue
+			}
+			if !pair.spec.Has(s) {
+				t.Errorf("%s: legacy protocol has %v, table does not", pair.spec.Name(), s)
+				continue
+			}
+			for _, e := range AllEvents() {
+				want := legacyApply(pair.legacy, s, e)
+				got := pair.spec.Apply(s, e)
+				if got.Next != want.Next || got.Action != want.Action {
+					t.Errorf("%s: %v --%v--> got %v/%v, legacy %v/%v",
+						pair.spec.Name(), s, e, got.Next, got.Action, want.Next, want.Action)
+				}
+			}
+		}
+		for others := 0; others <= 4; others++ {
+			want := legacyInstallState(pair.legacy, others)
+			got := pair.spec.Install().For(others)
+			if got != want {
+				t.Errorf("%s: install with %d sharers = %v, legacy %v", pair.spec.Name(), others, got, want)
+			}
+		}
+	}
+}
+
+// The exhaustive-coverage check that gated construction, kept as a
+// registry-wide validator regression: every registered protocol covers
+// every (legal state, event) pair, stays closed under its state set, and
+// never silently drops dirty data.
+func TestRegisteredSpecsExhaustiveCoverage(t *testing.T) {
+	protos := Protocols()
+	if len(protos) < 4 {
+		t.Fatalf("registry has %d protocols, want at least MESI, MESIF, MOESI and one newcomer", len(protos))
+	}
+	for _, p := range protos {
+		spec, err := SpecFor(p)
+		if err != nil {
+			t.Fatalf("SpecFor(%s): %v", p, err)
+		}
+		for _, s := range spec.States() {
+			for _, e := range AllEvents() {
+				tr := spec.Apply(s, e) // panics on an uncovered pair
+				if !spec.Has(tr.Next) {
+					t.Errorf("%s: %v --%v--> %v leaves the protocol", p, s, e, tr.Next)
+				}
+				if s.Dirty() && !tr.Next.Dirty() && tr.Action == NoAction {
+					t.Errorf("%s: %v --%v--> %v drops dirty data silently", p, s, e, tr.Next)
+				}
+			}
+		}
+	}
+}
+
+func TestSpecValidationRejectsBadTables(t *testing.T) {
+	base := func() SpecDef {
+		return SpecDef{
+			Name:   "BAD",
+			States: []State{Shared, Exclusive, Modified},
+			Rules: concat(
+				invalidRow(),
+				cleanSharedRow(Shared),
+				[]Rule{{Shared, RemoteRead, Shared, NoAction, LatFree}},
+				exclusiveRow(),
+				[]Rule{{Exclusive, RemoteRead, Shared, SupplyAndWriteBack, LatFree}},
+				modifiedRow(),
+				[]Rule{{Modified, RemoteRead, Shared, SupplyAndWriteBack, LatFree}},
+			),
+			Install: InstallPolicy{Solo: Exclusive, Shared: Shared, FromOwner: Shared},
+			Store:   StorePolicy{Solo: Modified, Shared: Modified, Allocate: true},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*SpecDef)
+		wantErr string
+	}{
+		{"uncovered pair", func(d *SpecDef) {
+			d.Rules = d.Rules[:len(d.Rules)-1] // drop M/RemoteRead
+		}, "must be covered"},
+		{"transition out of state set", func(d *SpecDef) {
+			for i := range d.Rules {
+				if d.Rules[i].From == Exclusive && d.Rules[i].On == RemoteRead {
+					d.Rules[i].Next = Forward // not a MESI state
+				}
+			}
+		}, "state set"},
+		{"dirty silently dropped", func(d *SpecDef) {
+			for i := range d.Rules {
+				if d.Rules[i].From == Modified && d.Rules[i].On == Evict {
+					d.Rules[i].Action = NoAction
+				}
+			}
+		}, "dirty"},
+		{"duplicate rule", func(d *SpecDef) {
+			d.Rules = append(d.Rules, Rule{Modified, Evict, Invalid, WriteBack, LatWriteBack})
+		}, "duplicate"},
+		{"install state outside protocol", func(d *SpecDef) {
+			d.Install.Shared = Owned
+		}, "install.shared"},
+		{"destructive local read", func(d *SpecDef) {
+			for i := range d.Rules {
+				if d.Rules[i].From == Shared && d.Rules[i].On == LocalRead {
+					d.Rules[i].Next = Invalid
+				}
+			}
+		}, "LocalRead"},
+		{"evict keeps the line", func(d *SpecDef) {
+			for i := range d.Rules {
+				if d.Rules[i].From == Shared && d.Rules[i].On == Evict {
+					d.Rules[i].Next = Shared
+				}
+			}
+		}, "leave the cache"},
+		{"invalidation protocol keeping remote copies", func(d *SpecDef) {
+			for i := range d.Rules {
+				if d.Rules[i].From == Shared && d.Rules[i].On == RemoteWrite {
+					d.Rules[i].Next = Shared
+				}
+			}
+		}, "RemoteWrite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			def := base()
+			tc.mutate(&def)
+			_, err := NewSpec(def)
+			if err == nil {
+				t.Fatalf("NewSpec accepted a table with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	for _, p := range []Protocol{MESI, MESIF, MOESI, Dragon, WTNA} {
+		spec, err := SpecFor(p)
+		if err != nil {
+			t.Fatalf("SpecFor(%s): %v", p, err)
+		}
+		if got := registryKey(spec.Name()); got != registryKey(string(p)) {
+			t.Errorf("SpecFor(%s).Name() = %s", p, spec.Name())
+		}
+	}
+	if _, err := SpecFor("mesif"); err != nil {
+		t.Errorf("lookup is not case-insensitive: %v", err)
+	}
+	if spec, err := SpecFor(""); err != nil || spec.Name() != string(MESI) {
+		t.Errorf("empty protocol = (%v, %v), want MESI (the historical zero value)", spec, err)
+	}
+	_, err := SpecFor("MESIFY")
+	if err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	for _, want := range []string{"MESI", "MESIF", "MOESI", "DRAGON", "WT-NA"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-protocol error %q does not name %s", err, want)
+		}
+	}
+	if _, err := Register(SpecDef{}); err == nil {
+		t.Error("registered a nameless spec")
+	}
+}
+
+func TestSilentUpgradeDerivation(t *testing.T) {
+	cases := map[Protocol]bool{
+		MESI: true, MESIF: true, MOESI: true,
+		// Dragon keeps E's silent upgrade; WT-NA has no E at all —
+		// which is exactly why it collapses the paper's channel.
+		Dragon: true, WTNA: false,
+	}
+	for p, want := range cases {
+		if got := MustSpec(p).SilentUpgrades(); got != want {
+			t.Errorf("%s.SilentUpgrades() = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestUniqueStates(t *testing.T) {
+	if !SpecMESIF.Unique(Forward) {
+		t.Error("MESIF F must be unique (one responder per line)")
+	}
+	if !SpecMOESI.Unique(Owned) || !SpecDragon.Unique(Owned) {
+		t.Error("O must be unique (one owner per line)")
+	}
+	if SpecMESI.Unique(Shared) || SpecWTNA.Unique(Shared) {
+		t.Error("S is never unique")
+	}
+	for _, spec := range []*ProtocolSpec{SpecMESI, SpecMESIF, SpecMOESI, SpecDragon} {
+		if !spec.Unique(Modified) || !spec.Unique(Exclusive) && spec.Has(Exclusive) {
+			t.Errorf("%s: sole-copy states must be unique", spec.Name())
+		}
+	}
+}

@@ -1,15 +1,19 @@
-// Package coherence defines the cache coherence state machines used by the
-// simulated machine: MESI (the baseline analysed in the paper), Intel-style
-// MESIF, AMD-style MOESI, and a snoop-bus variant. It also provides the
-// directory bookkeeping (LLC core-valid bits) that selects the service path
-// for a read miss — the mechanism the covert channel exploits.
+// Package coherence defines the cache coherence machinery used by the
+// simulated machine. Protocols are *data*: a ProtocolSpec is a declarative
+// transition table (state × event → next state, action, latency class)
+// plus install/store policy knobs, validated at construction and looked up
+// from a named registry (MESI, MESIF, MOESI, DRAGON, WT-NA by default).
+// The package also provides the directory bookkeeping (LLC core-valid
+// bits) that selects the service path for a read miss — the mechanism the
+// covert channel exploits.
 package coherence
 
 import "fmt"
 
 // State is a cache-line coherence state. The paper's analysis treats M, E,
 // S and I as fundamental and F/O as performance refinements; all six are
-// modelled so the protocol variants can be compared.
+// modelled so the protocol variants can be compared. Protocol specs reuse
+// this vocabulary for their own states (Dragon's Sc/Sm map onto S/O).
 type State uint8
 
 const (
@@ -24,9 +28,12 @@ const (
 	Modified
 	// Forward: MESIF only — the sharer designated to answer requests.
 	Forward
-	// Owned: MOESI only — dirty but shared; the owner services misses and
-	// is responsible for the eventual write-back.
+	// Owned: dirty but shared; the owner services misses and is
+	// responsible for the eventual write-back (MOESI's O, Dragon's Sm).
 	Owned
+
+	// NumStates bounds the state space for table-driven specs.
+	NumStates = 6
 )
 
 var stateNames = [...]string{"I", "S", "E", "M", "F", "O"}
@@ -36,6 +43,11 @@ func (s State) String() string {
 		return stateNames[s]
 	}
 	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// AllStates lists every modelled state, Invalid first.
+func AllStates() []State {
+	return []State{Invalid, Shared, Exclusive, Modified, Forward, Owned}
 }
 
 // Valid reports whether the line holds usable data.
@@ -55,41 +67,33 @@ func (s State) Writable() bool { return s == Modified || s == Exclusive }
 // the line.
 func (s State) SoleCopy() bool { return s == Modified || s == Exclusive }
 
-// Protocol selects a coherence protocol family.
-type Protocol uint8
+// Protocol names a coherence protocol registered as a ProtocolSpec.
+// The value is the registry key (case-insensitive); the empty string
+// selects MESI, matching the historical enum's zero value.
+type Protocol string
 
 const (
 	// MESI is the four-state baseline the paper uses for exposition.
-	MESI Protocol = iota
+	MESI Protocol = "MESI"
 	// MESIF adds the Forward state (Intel Xeon / QuickPath).
-	MESIF
+	MESIF Protocol = "MESIF"
 	// MOESI adds the Owned state (AMD Opteron / HyperTransport).
-	MOESI
+	MOESI Protocol = "MOESI"
+	// Dragon is the write-update protocol (Xerox Dragon): stores
+	// broadcast updates instead of invalidations, so sharers never lose
+	// their copies. Table-only — no machine code names it.
+	Dragon Protocol = "DRAGON"
+	// WTNA is write-through-no-allocate: stores push data to the shared
+	// level without claiming exclusivity, so no state is ever dirty and
+	// the E/M dual-intent the paper attacks does not exist.
+	WTNA Protocol = "WT-NA"
 )
 
 func (p Protocol) String() string {
-	switch p {
-	case MESI:
-		return "MESI"
-	case MESIF:
-		return "MESIF"
-	case MOESI:
-		return "MOESI"
-	default:
-		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	if p == "" {
+		return string(MESI)
 	}
-}
-
-// Has reports whether the protocol includes state s.
-func (p Protocol) Has(s State) bool {
-	switch s {
-	case Forward:
-		return p == MESIF
-	case Owned:
-		return p == MOESI
-	default:
-		return true
-	}
+	return string(p)
 }
 
 // Event is a stimulus applied to a cache line's state machine.
@@ -102,12 +106,16 @@ const (
 	LocalWrite
 	// RemoteRead: another core's read miss reaches this copy.
 	RemoteRead
-	// RemoteWrite: another core's write (RFO/invalidate) reaches this copy.
+	// RemoteWrite: another core's write (RFO/invalidate, or a Dragon-
+	// style update broadcast) reaches this copy.
 	RemoteWrite
 	// Evict: the line is chosen as replacement victim.
 	Evict
 	// FlushOp: an explicit clflush-style invalidation.
 	FlushOp
+
+	// NumEvents bounds the event space for table-driven specs.
+	NumEvents = 6
 )
 
 var eventNames = [...]string{"LocalRead", "LocalWrite", "RemoteRead", "RemoteWrite", "Evict", "Flush"}
@@ -117,6 +125,11 @@ func (e Event) String() string {
 		return eventNames[e]
 	}
 	return fmt.Sprintf("Event(%d)", uint8(e))
+}
+
+// AllEvents lists every event in declaration order.
+func AllEvents() []Event {
+	return []Event{LocalRead, LocalWrite, RemoteRead, RemoteWrite, Evict, FlushOp}
 }
 
 // Action is a side effect the cache controller must perform alongside a
@@ -150,111 +163,51 @@ func (a Action) String() string {
 	}
 }
 
+// LatencyClass names the timing band the bus work of a transition falls
+// in. The machine maps classes to its calibrated component latencies;
+// the table only says which band applies.
+type LatencyClass uint8
+
+const (
+	// LatFree: no coherence traffic beyond the access itself.
+	LatFree LatencyClass = iota
+	// LatStoreHit: the store retires in the private cache (an M hit, or
+	// the silent E->M upgrade at the heart of the paper's channel).
+	LatStoreHit
+	// LatUpgrade: data already present; pay the invalidation (or
+	// write-update broadcast) round to the shared level.
+	LatUpgrade
+	// LatFill: the full read-miss service path, then the RFO overhead.
+	LatFill
+	// LatWriteBack: dirty data pushed toward the shared level / memory.
+	LatWriteBack
+	// LatWriteThrough: the store pays a write-through round to the
+	// shared level and the line stays clean.
+	LatWriteThrough
+)
+
+func (l LatencyClass) String() string {
+	switch l {
+	case LatFree:
+		return "free"
+	case LatStoreHit:
+		return "store-hit"
+	case LatUpgrade:
+		return "upgrade"
+	case LatFill:
+		return "fill"
+	case LatWriteBack:
+		return "writeback"
+	case LatWriteThrough:
+		return "write-through"
+	default:
+		return fmt.Sprintf("LatencyClass(%d)", uint8(l))
+	}
+}
+
 // Transition is the outcome of applying an Event to a State.
 type Transition struct {
-	Next   State
-	Action Action
-}
-
-// Apply returns the transition for state s under event e in protocol p.
-// Transitions follow Sorin, Hill & Wood ("A Primer on Memory Consistency
-// and Cache Coherence"), which the paper cites for its protocol behaviour.
-// Apply panics if s is not a state of p (a protocol implementation bug).
-func Apply(p Protocol, s State, e Event) Transition {
-	if !p.Has(s) {
-		panic(fmt.Sprintf("coherence: state %v not in protocol %v", s, p))
-	}
-	switch e {
-	case LocalRead:
-		// A local read never degrades a valid state; a read to Invalid is
-		// a miss handled by the controller, which installs S/E/F per the
-		// sharer census (see InstallState).
-		if s == Invalid {
-			return Transition{Invalid, NoAction}
-		}
-		return Transition{s, NoAction}
-
-	case LocalWrite:
-		switch s {
-		case Invalid:
-			// Write miss: controller issues RFO; resulting state is M.
-			return Transition{Modified, NoAction}
-		case Shared, Forward, Owned:
-			// Upgrade: invalidate other sharers, become M.
-			return Transition{Modified, NoAction}
-		case Exclusive:
-			// Silent upgrade — no bus traffic. This silence is what makes
-			// the paper's hardware mitigation (§VIII-E item 3) a real
-			// protocol change: the LLC is not currently told about E->M.
-			return Transition{Modified, NoAction}
-		case Modified:
-			return Transition{Modified, NoAction}
-		}
-
-	case RemoteRead:
-		switch s {
-		case Invalid:
-			return Transition{Invalid, NoAction}
-		case Shared:
-			return Transition{Shared, NoAction}
-		case Exclusive:
-			// E -> S with a clean copy left at the shared level; the extra
-			// hop is the latency the spy observes (§VI-A).
-			if p == MESIF {
-				// The previous exclusive owner becomes the Forwarder.
-				return Transition{Forward, SupplyAndWriteBack}
-			}
-			return Transition{Shared, SupplyAndWriteBack}
-		case Modified:
-			if p == MOESI {
-				// Dirty sharing without memory write-back.
-				return Transition{Owned, SupplyData}
-			}
-			return Transition{Shared, SupplyAndWriteBack}
-		case Forward:
-			// Forwarder supplies data and keeps forwarding duty here
-			// (hardware differs on F migration; either choice preserves
-			// the latency structure).
-			return Transition{Forward, SupplyData}
-		case Owned:
-			return Transition{Owned, SupplyData}
-		}
-
-	case RemoteWrite:
-		switch s {
-		case Invalid:
-			return Transition{Invalid, NoAction}
-		case Modified, Owned:
-			// Must hand the dirty data to the writer before invalidating.
-			return Transition{Invalid, SupplyData}
-		default:
-			return Transition{Invalid, NoAction}
-		}
-
-	case Evict:
-		if s.Dirty() {
-			return Transition{Invalid, WriteBack}
-		}
-		return Transition{Invalid, NoAction}
-
-	case FlushOp:
-		if s.Dirty() {
-			return Transition{Invalid, WriteBack}
-		}
-		return Transition{Invalid, NoAction}
-	}
-	panic(fmt.Sprintf("coherence: unhandled event %v", e))
-}
-
-// InstallState returns the state a read-miss fill should install, given
-// how many *other* caches hold the line after the fill.
-func InstallState(p Protocol, otherSharers int) State {
-	if otherSharers == 0 {
-		return Exclusive
-	}
-	if p == MESIF {
-		// The newest requestor becomes the Forwarder on Intel parts.
-		return Forward
-	}
-	return Shared
+	Next    State
+	Action  Action
+	Latency LatencyClass
 }

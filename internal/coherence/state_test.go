@@ -46,48 +46,21 @@ func TestStatePredicates(t *testing.T) {
 }
 
 func TestProtocolHas(t *testing.T) {
-	if !MESI.Has(Modified) || !MESI.Has(Invalid) {
+	if !SpecMESI.Has(Modified) || !SpecMESI.Has(Invalid) {
 		t.Error("MESI must have MESI states")
 	}
-	if MESI.Has(Forward) || MESI.Has(Owned) {
+	if SpecMESI.Has(Forward) || SpecMESI.Has(Owned) {
 		t.Error("MESI must not have F or O")
 	}
-	if !MESIF.Has(Forward) || MESIF.Has(Owned) {
+	if !SpecMESIF.Has(Forward) || SpecMESIF.Has(Owned) {
 		t.Error("MESIF has F, not O")
 	}
-	if !MOESI.Has(Owned) || MOESI.Has(Forward) {
+	if !SpecMOESI.Has(Owned) || SpecMOESI.Has(Forward) {
 		t.Error("MOESI has O, not F")
 	}
 }
 
-func protocols() []Protocol { return []Protocol{MESI, MESIF, MOESI} }
-
-func statesOf(p Protocol) []State {
-	all := []State{Invalid, Shared, Exclusive, Modified, Forward, Owned}
-	var out []State
-	for _, s := range all {
-		if p.Has(s) {
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
-// Every (protocol, state, event) triple must produce a state legal in that
-// protocol — the core closure property of the transition tables.
-func TestApplyClosedUnderProtocol(t *testing.T) {
-	events := []Event{LocalRead, LocalWrite, RemoteRead, RemoteWrite, Evict, FlushOp}
-	for _, p := range protocols() {
-		for _, s := range statesOf(p) {
-			for _, e := range events {
-				tr := Apply(p, s, e)
-				if !p.Has(tr.Next) {
-					t.Errorf("%v: %v --%v--> %v leaves the protocol", p, s, e, tr.Next)
-				}
-			}
-		}
-	}
-}
+func mesiFamily() []*ProtocolSpec { return []*ProtocolSpec{SpecMESI, SpecMESIF, SpecMOESI} }
 
 func TestApplyPanicsOnForeignState(t *testing.T) {
 	defer func() {
@@ -95,29 +68,29 @@ func TestApplyPanicsOnForeignState(t *testing.T) {
 			t.Fatal("Apply(MESI, Forward, ...) did not panic")
 		}
 	}()
-	Apply(MESI, Forward, LocalRead)
+	SpecMESI.Apply(Forward, LocalRead)
 }
 
 func TestLocalReadPreservesValidStates(t *testing.T) {
-	for _, p := range protocols() {
-		for _, s := range statesOf(p) {
+	for _, spec := range mesiFamily() {
+		for _, s := range spec.States() {
 			if s == Invalid {
 				continue
 			}
-			tr := Apply(p, s, LocalRead)
+			tr := spec.Apply(s, LocalRead)
 			if tr.Next != s || tr.Action != NoAction {
-				t.Errorf("%v: LocalRead on %v changed state to %v/%v", p, s, tr.Next, tr.Action)
+				t.Errorf("%s: LocalRead on %v changed state to %v/%v", spec.Name(), s, tr.Next, tr.Action)
 			}
 		}
 	}
 }
 
 func TestLocalWriteAlwaysReachesModified(t *testing.T) {
-	for _, p := range protocols() {
-		for _, s := range statesOf(p) {
-			tr := Apply(p, s, LocalWrite)
+	for _, spec := range mesiFamily() {
+		for _, s := range spec.States() {
+			tr := spec.Apply(s, LocalWrite)
 			if tr.Next != Modified {
-				t.Errorf("%v: LocalWrite on %v -> %v, want M", p, s, tr.Next)
+				t.Errorf("%s: LocalWrite on %v -> %v, want M", spec.Name(), s, tr.Next)
 			}
 		}
 	}
@@ -126,95 +99,105 @@ func TestLocalWriteAlwaysReachesModified(t *testing.T) {
 // The transition at the heart of the paper: a remote read hitting an
 // E-state line downgrades it and leaves a clean copy at the shared level.
 func TestExclusiveDowngradeOnRemoteRead(t *testing.T) {
-	tr := Apply(MESI, Exclusive, RemoteRead)
+	tr := SpecMESI.Apply(Exclusive, RemoteRead)
 	if tr.Next != Shared {
 		t.Errorf("MESI: E --RemoteRead--> %v, want S", tr.Next)
 	}
 	if tr.Action != SupplyAndWriteBack {
 		t.Errorf("MESI: E remote read action = %v, want supply+writeback", tr.Action)
 	}
-	trF := Apply(MESIF, Exclusive, RemoteRead)
+	trF := SpecMESIF.Apply(Exclusive, RemoteRead)
 	if trF.Next != Forward {
 		t.Errorf("MESIF: E --RemoteRead--> %v, want F", trF.Next)
 	}
 }
 
 func TestModifiedRemoteReadByProtocol(t *testing.T) {
-	if tr := Apply(MESI, Modified, RemoteRead); tr.Next != Shared || tr.Action != SupplyAndWriteBack {
+	if tr := SpecMESI.Apply(Modified, RemoteRead); tr.Next != Shared || tr.Action != SupplyAndWriteBack {
 		t.Errorf("MESI M remote read = %+v", tr)
 	}
 	// MOESI's whole point: avoid the memory write-back on M->shared.
-	if tr := Apply(MOESI, Modified, RemoteRead); tr.Next != Owned || tr.Action != SupplyData {
+	if tr := SpecMOESI.Apply(Modified, RemoteRead); tr.Next != Owned || tr.Action != SupplyData {
 		t.Errorf("MOESI M remote read = %+v", tr)
 	}
 }
 
 func TestRemoteWriteInvalidatesEverything(t *testing.T) {
-	for _, p := range protocols() {
-		for _, s := range statesOf(p) {
-			tr := Apply(p, s, RemoteWrite)
+	for _, spec := range mesiFamily() {
+		for _, s := range spec.States() {
+			tr := spec.Apply(s, RemoteWrite)
 			if tr.Next != Invalid {
-				t.Errorf("%v: RemoteWrite on %v -> %v, want I", p, s, tr.Next)
+				t.Errorf("%s: RemoteWrite on %v -> %v, want I", spec.Name(), s, tr.Next)
 			}
 			if s.Dirty() && tr.Action != SupplyData {
-				t.Errorf("%v: RemoteWrite on dirty %v must supply data", p, s)
+				t.Errorf("%s: RemoteWrite on dirty %v must supply data", spec.Name(), s)
 			}
 		}
 	}
 }
 
 func TestEvictAndFlushWriteBackDirtyOnly(t *testing.T) {
-	for _, p := range protocols() {
-		for _, s := range statesOf(p) {
+	for _, spec := range mesiFamily() {
+		for _, s := range spec.States() {
 			for _, e := range []Event{Evict, FlushOp} {
-				tr := Apply(p, s, e)
+				tr := spec.Apply(s, e)
 				if tr.Next != Invalid {
-					t.Errorf("%v: %v on %v -> %v, want I", p, e, s, tr.Next)
+					t.Errorf("%s: %v on %v -> %v, want I", spec.Name(), e, s, tr.Next)
 				}
 				wantWB := s.Dirty()
 				gotWB := tr.Action == WriteBack
 				if wantWB != gotWB {
-					t.Errorf("%v: %v on %v writeback=%v, want %v", p, e, s, gotWB, wantWB)
+					t.Errorf("%s: %v on %v writeback=%v, want %v", spec.Name(), e, s, gotWB, wantWB)
 				}
 			}
 		}
 	}
 }
 
-func TestInstallState(t *testing.T) {
-	for _, p := range protocols() {
-		if got := InstallState(p, 0); got != Exclusive {
-			t.Errorf("%v: install with no sharers = %v, want E", p, got)
+func TestInstallPolicy(t *testing.T) {
+	for _, spec := range mesiFamily() {
+		if got := spec.Install().For(0); got != Exclusive {
+			t.Errorf("%s: install with no sharers = %v, want E", spec.Name(), got)
 		}
 	}
-	if got := InstallState(MESI, 1); got != Shared {
+	if got := SpecMESI.Install().For(1); got != Shared {
 		t.Errorf("MESI install with sharers = %v, want S", got)
 	}
-	if got := InstallState(MESIF, 2); got != Forward {
+	if got := SpecMESIF.Install().For(2); got != Forward {
 		t.Errorf("MESIF install with sharers = %v, want F", got)
 	}
-	if got := InstallState(MOESI, 3); got != Shared {
+	if got := SpecMOESI.Install().For(3); got != Shared {
 		t.Errorf("MOESI install with sharers = %v, want S", got)
+	}
+	// WT-NA never grants exclusivity: every fill is plain Shared.
+	if got := SpecWTNA.Install().For(0); got != Shared {
+		t.Errorf("WT-NA install with no sharers = %v, want S", got)
 	}
 }
 
 // Property: no event sequence can create a writable state without a
 // LocalWrite — i.e. read-only sharing never silently becomes writable.
+// Runs over every registered protocol, not just the shipped three.
 func TestNoWritableWithoutLocalWrite(t *testing.T) {
+	protos := Protocols()
 	f := func(seed uint8, evs []uint8) bool {
-		p := protocols()[int(seed)%3]
+		spec := MustSpec(protos[int(seed)%len(protos)])
 		s := Shared
+		if !spec.Has(s) {
+			return true
+		}
 		for _, raw := range evs {
-			e := Event(raw % 6)
+			e := Event(raw % NumEvents)
 			if e == LocalWrite {
 				continue // skip writes; nothing else may grant writability
 			}
-			s = Apply(p, s, e).Next
+			s = spec.Apply(s, e).Next
 			if s.Writable() && s != Exclusive {
 				return false
 			}
 			// Exclusive can only appear on a fill, which Apply does not
-			// model (InstallState does); transitions alone must not mint E.
+			// model (the install policy does); transitions alone must
+			// not mint E.
 			if s == Exclusive {
 				return false
 			}

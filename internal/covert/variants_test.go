@@ -3,6 +3,7 @@ package covert
 import (
 	"testing"
 
+	"coherentleak/internal/coherence"
 	"coherentleak/internal/machine"
 )
 
@@ -93,16 +94,9 @@ func TestChannelOverNonInclusiveLLC(t *testing.T) {
 // The channel works across all three protocol families (§VIII-E).
 func TestChannelAcrossProtocols(t *testing.T) {
 	bits := PatternBitsForTest(29, 40)
-	for _, p := range []string{"MESI", "MESIF", "MOESI"} {
+	for _, p := range []coherence.Protocol{coherence.MESI, coherence.MESIF, coherence.MOESI} {
 		cfg := machine.DefaultConfig()
-		switch p {
-		case "MESI":
-			cfg.Protocol = 0
-		case "MESIF":
-			cfg.Protocol = 1
-		case "MOESI":
-			cfg.Protocol = 2
-		}
+		cfg.Protocol = p
 		ch := NewChannel(Scenarios[3]) // RExclc-LSharedb
 		ch.Config = cfg
 		res, err := ch.Run(bits)

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
+	"coherentleak/internal/coherence"
 	"coherentleak/internal/covert"
 	"coherentleak/internal/harness"
 )
@@ -28,6 +30,7 @@ func Artifacts() *harness.Registry {
 		peaksArtifact(),
 		mitigationsArtifact(),
 		capacityArtifact(),
+		protomatrixArtifact(),
 	} {
 		reg.MustRegister(a)
 	}
@@ -303,6 +306,41 @@ func mitigationsArtifact() *harness.Artifact {
 				out.Summary = append(out.Summary, fmt.Sprintf("mitigations %-18s %d cells", sc.Name(), len(pts)))
 				return out, nil
 			}), nil
+		},
+	}
+}
+
+func protomatrixArtifact() *harness.Artifact {
+	return &harness.Artifact{
+		Name:        "protomatrix",
+		Description: "protocol x channel survival matrix over every registered coherence protocol",
+		File:        "protocol_matrix.tsv",
+		Header:      "protocol\tchannel\traw_kbps\taccuracy\tinfo_kbps\tsurvives\tnote",
+		Cells: func(p harness.Plan) ([]harness.Cell, error) {
+			protos := coherence.Protocols()
+			cells := make([]harness.Cell, 0, len(protos))
+			for i, proto := range protos {
+				i, proto := i, proto
+				cells = append(cells, harness.Cell{
+					Name: strings.ToLower(string(proto)),
+					Run: func() (harness.CellOutput, error) {
+						pts, err := MatrixRow(p.Cfg, proto, i, p.Size(120, 40), p.Seed)
+						if err != nil {
+							return harness.CellOutput{}, err
+						}
+						var out harness.CellOutput
+						for _, pt := range pts {
+							out.Rows = append(out.Rows, fmt.Sprintf("%s\t%s\t%.1f\t%.4f\t%.1f\t%v\t%s",
+								pt.Protocol, pt.Channel, pt.RawKbps, pt.Accuracy, pt.InfoKbps, pt.Survives, pt.Note))
+							out.Summary = append(out.Summary, fmt.Sprintf(
+								"protomatrix %-7s %-8s survives=%-5v acc=%.0f%% info=%.0f Kbps",
+								pt.Protocol, pt.Channel, pt.Survives, pt.Accuracy*100, pt.InfoKbps))
+						}
+						return out, nil
+					},
+				})
+			}
+			return cells, nil
 		},
 	}
 }

@@ -108,9 +108,9 @@ func (m *Machine) missPath(now sim.Cycles, core *Core, line uint64) (Path, sim.C
 	case coherence.CensusOwned:
 		// A single owner may hold the line in E or M; the LLC copy is
 		// possibly stale, so the request is forwarded to the owner —
-		// unless the E->M notification mitigation lets the LLC prove its
-		// copy is current.
-		if m.cfg.Mitigations.LLCNotifiedOfEToM && !m.upgraded[line] && m.llcServiceable(sock, line) {
+		// unless the LLC can prove its copy current (the E->M notification
+		// mitigation, or a protocol with no silent upgrades at all).
+		if m.llcTrust && !m.upgraded[line] && m.llcServiceable(sock, line) {
 			m.fillRequestor(core, line, false)
 			return PathLocalLLC, base
 		}
@@ -147,7 +147,7 @@ func (m *Machine) missPath(now sim.Cycles, core *Core, line uint64) (Path, sim.C
 			return PathRemoteForward, base + hop + lat.ForwardRemote
 		case coherence.CensusOwned:
 			hop := qpiLink.Traverse(now) + qpiLink.Traverse(now)
-			if m.cfg.Mitigations.LLCNotifiedOfEToM && !m.upgraded[line] && m.llcServiceable(remote, line) {
+			if m.llcTrust && !m.upgraded[line] && m.llcServiceable(remote, line) {
 				m.fillRequestor(core, line, false)
 				return PathRemoteLLC, base + hop
 			}
@@ -255,7 +255,7 @@ func (m *Machine) downgradeIn(sock *Socket, pc *cache.Cache, line uint64) {
 	if !st.Valid() {
 		return
 	}
-	tr := coherence.Apply(m.cfg.Protocol, st, coherence.RemoteRead)
+	tr := m.spec.Apply(st, coherence.RemoteRead)
 	pc.SetState(line, tr.Next)
 	if tr.Action == coherence.SupplyAndWriteBack && !m.cfg.ExclusiveLLC {
 		// Exclusive LLCs never take the downgrade copy; dirty data goes
@@ -265,27 +265,28 @@ func (m *Machine) downgradeIn(sock *Socket, pc *cache.Cache, line uint64) {
 }
 
 // fillRequestor installs line into the requestor's private caches (and
-// the local LLC when inclusive), choosing E when no other cache anywhere
-// holds a copy. fromForward marks fills supplied by a previous owner, in
-// which case the requestor takes S (the supplier retains F/O duty).
+// the local LLC when inclusive), letting the spec's install policy pick
+// the state from the copy census. fromForward marks fills supplied by a
+// previous owner, in which case the policy's FromOwner state applies (the
+// supplier retains F/O duty).
 func (m *Machine) fillRequestor(core *Core, line uint64, fromForward bool) {
 	sock := m.sockets[core.Socket]
 	var st coherence.State
 	if fromForward {
-		st = coherence.Shared
+		st = m.spec.Install().FromOwner
 	} else {
-		others := m.globalSharers(line, -1, -1)
+		census := m.globalSharers(line, -1, -1)
 		// An inclusive LLC's own copy coexists with the requestor's E
 		// (the hierarchy always duplicates locally), so only private
 		// copies and *other* sockets' caches block exclusivity.
-		if others == 0 && !m.anyOtherCopy(line, core.Socket) {
-			st = coherence.Exclusive
-		} else {
-			st = coherence.InstallState(m.cfg.Protocol, 1)
-			if st == coherence.Forward {
-				// At most one Forwarder: demote any previous F copy.
-				m.demoteForwarders(line)
-			}
+		if census == 0 && m.anyOtherCopy(line, core.Socket) {
+			census = 1
+		}
+		st = m.spec.Install().For(census)
+		if census > 0 && m.spec.Unique(st) {
+			// At most one copy of a unique install state (MESIF's F):
+			// demote any previous holder.
+			m.demoteForwarders(line, st)
 		}
 	}
 	m.fillPrivate(core, line, st)
@@ -293,7 +294,7 @@ func (m *Machine) fillRequestor(core *Core, line uint64, fromForward bool) {
 	if (m.cfg.InclusiveLLC || fromForward) && !m.cfg.ExclusiveLLC {
 		m.installLLC(sock, line)
 	}
-	if st == coherence.Exclusive {
+	if st.SoleCopy() {
 		// The LLC cannot distinguish E from M at the owner; record that
 		// the copy may go stale. (Census==1 already forces forwarding in
 		// the unmitigated design; the flag serves the mitigation logic.)
@@ -301,16 +302,18 @@ func (m *Machine) fillRequestor(core *Core, line uint64, fromForward bool) {
 	}
 }
 
-// demoteForwarders downgrades any existing F copy of line to S.
-func (m *Machine) demoteForwarders(line uint64) {
+// demoteForwarders downgrades any existing copy of line held in the
+// unique install state fwd (MESIF's F) to the spec's demotion state.
+func (m *Machine) demoteForwarders(line uint64, fwd coherence.State) {
+	demote := m.spec.Install().Demote
 	for _, s := range m.sockets {
 		for mask := s.Dir.SharerMask(line); mask != 0; mask &= mask - 1 {
 			core := s.Cores[bits.TrailingZeros64(mask)]
-			if core.L1.Probe(line) == coherence.Forward {
-				core.L1.SetState(line, coherence.Shared)
+			if core.L1.Probe(line) == fwd {
+				core.L1.SetState(line, demote)
 			}
-			if core.L2.Probe(line) == coherence.Forward {
-				core.L2.SetState(line, coherence.Shared)
+			if core.L2.Probe(line) == fwd {
+				core.L2.SetState(line, demote)
 			}
 		}
 	}
@@ -343,9 +346,10 @@ func (m *Machine) handleL2Evict(core *Core, ev cache.Evicted) {
 		st = l1
 	}
 	sock := m.sockets[core.Socket]
-	if st.Dirty() || m.cfg.ExclusiveLLC {
-		// Dirty victims write back to the LLC; an exclusive (victim)
-		// LLC additionally captures clean victims.
+	if m.spec.Apply(st, coherence.Evict).Action == coherence.WriteBack || m.cfg.ExclusiveLLC {
+		// Victims whose eviction transition writes back (dirty states)
+		// land in the LLC; an exclusive (victim) LLC additionally
+		// captures clean victims.
 		m.installLLC(sock, ev.Addr)
 	}
 	sock.Dir.RemoveSharer(ev.Addr, core.Local)
@@ -402,49 +406,80 @@ func (m *Machine) store(t *sim.Thread, g int, addr uint64) Access {
 	sock := m.sockets[core.Socket]
 
 	st := m.ProbeState(g, line)
-	switch st {
-	case coherence.Modified:
-		return m.finish(t, line, PathL1, lat.StoreHit+walk)
-	case coherence.Exclusive:
-		// Silent E->M upgrade: no bus traffic, which is why the LLC must
-		// conservatively forward census==1 misses. The mitigation makes
-		// this upgrade visible.
-		core.L1.SetState(line, coherence.Modified)
-		core.L2.SetState(line, coherence.Modified)
-		m.upgraded[line] = true
-		if m.cfg.Mitigations.LLCNotifiedOfEToM {
-			sock.Dir.SetOwnerDirty(line)
+	tr := m.spec.Apply(st, coherence.LocalWrite)
+	if tr.Latency == coherence.LatStoreHit {
+		if tr.Next != st {
+			// Silent upgrade (E->M): no bus traffic, which is why the LLC
+			// must conservatively forward census==1 misses. The mitigation
+			// makes this upgrade visible.
+			core.L1.SetState(line, tr.Next)
+			core.L2.SetState(line, tr.Next)
+			m.upgraded[line] = true
+			if m.cfg.Mitigations.LLCNotifiedOfEToM {
+				sock.Dir.SetOwnerDirty(line)
+			}
 		}
 		return m.finish(t, line, PathL1, lat.StoreHit+walk)
 	}
 
-	// RFO: fetch (if missing) and invalidate every other copy.
+	// The store must leave the core: an RFO (fetch if missing, then settle
+	// every other copy), an upgrade round, or a write-through.
 	var path Path
 	var base sim.Cycles
-	if st.Valid() {
-		// Upgrade from S/F/O: data already present, pay invalidation.
+	switch tr.Latency {
+	case coherence.LatUpgrade, coherence.LatWriteThrough:
+		// Data already present (upgrade from S/F/O) or not wanted locally
+		// (no-allocate write-through): pay the LLC round only.
 		path, base = PathLocalLLC, lat.MissBase+sock.Ring.Traverse(t.Now())+sock.Ring.Traverse(t.Now())+lat.LLCService
-	} else {
+	default:
 		path, base = m.missPath(t.Now(), core, line)
 	}
-	m.invalidateOthers(core, line)
-	m.fillPrivate(core, line, coherence.Modified)
-	sock.Dir.AddSharer(line, core.Local)
-	sock.Dir.SetOwnerDirty(line)
-	m.upgraded[line] = true
-	// Every LLC copy is now stale. InvalidateLLC (rather than a raw
-	// LLCValid clear) also reclaims remote-socket records left with no
-	// sharers after invalidateOthers, so long store-heavy runs do not
-	// accumulate dead directory entries.
-	for _, s := range m.sockets {
-		s.Dir.InvalidateLLC(line)
+	othersRemain := m.remoteWriteOthers(core, line)
+	next := m.spec.Store().Solo
+	if othersRemain {
+		next = m.spec.Store().Shared
+	}
+	if m.spec.Store().Allocate || st.Valid() {
+		m.fillPrivate(core, line, next)
+		sock.Dir.AddSharer(line, core.Local)
+		if next.Dirty() {
+			m.upgraded[line] = true
+			if !othersRemain {
+				sock.Dir.SetOwnerDirty(line)
+			}
+		}
+	}
+	switch {
+	case m.spec.Store().Update && othersRemain:
+		// Write-update broadcast: every copy — including the shared
+		// level's — received the new data in place; nothing went stale.
+	case m.spec.Store().Through:
+		// Write-through: the local shared level holds the data now; only
+		// other sockets' records are stale.
+		m.installLLC(sock, line)
+		for _, s := range m.sockets {
+			if s.ID != core.Socket {
+				s.Dir.InvalidateLLC(line)
+			}
+		}
+	default:
+		// Every LLC copy is now stale. InvalidateLLC (rather than a raw
+		// LLCValid clear) also reclaims remote-socket records left with no
+		// sharers after remoteWriteOthers, so long store-heavy runs do not
+		// accumulate dead directory entries.
+		for _, s := range m.sockets {
+			s.Dir.InvalidateLLC(line)
+		}
 	}
 	return m.finish(t, line, path, base+lat.RFOOverhead+walk)
 }
 
-// invalidateOthers applies RemoteWrite to every copy of line outside the
-// requesting core.
-func (m *Machine) invalidateOthers(requestor *Core, line uint64) {
+// remoteWriteOthers applies the RemoteWrite transition to every copy of
+// line outside the requesting core: invalidation protocols remove the
+// copies, write-update protocols refresh them in place. It reports
+// whether any other private copy survived.
+func (m *Machine) remoteWriteOthers(requestor *Core, line uint64) bool {
+	othersRemain := false
 	for _, s := range m.sockets {
 		for mask := s.Dir.SharerMask(line); mask != 0; mask &= mask - 1 {
 			local := bits.TrailingZeros64(mask)
@@ -452,11 +487,27 @@ func (m *Machine) invalidateOthers(requestor *Core, line uint64) {
 				continue
 			}
 			core := s.Cores[local]
-			core.L1.Invalidate(line)
-			core.L2.Invalidate(line)
-			s.Dir.RemoveSharer(line, local)
+			survived := false
+			for _, pc := range []*cache.Cache{core.L1, core.L2} {
+				st := pc.Probe(line)
+				if !st.Valid() {
+					continue
+				}
+				if next := m.spec.Apply(st, coherence.RemoteWrite).Next; next.Valid() {
+					pc.SetState(line, next)
+					survived = true
+				} else {
+					pc.Invalidate(line)
+				}
+			}
+			if survived {
+				othersRemain = true
+			} else {
+				s.Dir.RemoveSharer(line, local)
+			}
 		}
 	}
+	return othersRemain
 }
 
 // Flush performs a clflush-equivalent: every cached copy of addr's line in
@@ -482,11 +533,11 @@ func (m *Machine) flushLine(t *sim.Thread, g int, addr uint64) Access {
 		for mask := s.Dir.SharerMask(line); mask != 0; mask &= mask - 1 {
 			local := bits.TrailingZeros64(mask)
 			core := s.Cores[local]
-			if core.L1.Invalidate(line).Dirty() {
-				dirty = true
-			}
-			if core.L2.Invalidate(line).Dirty() {
-				dirty = true
+			for _, pc := range []*cache.Cache{core.L1, core.L2} {
+				st := pc.Invalidate(line)
+				if st.Valid() && m.spec.Apply(st, coherence.FlushOp).Action == coherence.WriteBack {
+					dirty = true
+				}
 			}
 			s.Dir.RemoveSharer(line, local)
 		}

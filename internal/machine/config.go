@@ -116,7 +116,10 @@ type Config struct {
 	// ClockHz converts cycles to seconds for bandwidth reporting.
 	// The testbed runs at 2.67 GHz.
 	ClockHz float64
-	// Protocol selects MESI (default), MESIF or MOESI.
+	// Protocol selects the coherence protocol by registry name; the empty
+	// string means MESI (the historical default). coherence.Protocols()
+	// lists the registered names — the built-ins are MESI, MESIF, MOESI,
+	// DRAGON and WT-NA.
 	Protocol coherence.Protocol
 	// L1, L2 are per-core private cache shapes; LLC is the per-socket
 	// shared cache shape.
@@ -193,6 +196,9 @@ func (c Config) Validate() error {
 	}
 	if c.ClockHz <= 0 {
 		return fmt.Errorf("machine: non-positive clock %v", c.ClockHz)
+	}
+	if _, err := coherence.SpecFor(c.Protocol); err != nil {
+		return fmt.Errorf("machine: %w", err)
 	}
 	for _, g := range []struct {
 		name string

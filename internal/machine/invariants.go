@@ -29,7 +29,10 @@ import (
 //  6. LLC exclusion (exclusive mode): no line is simultaneously valid in
 //     a socket's LLC and any of that socket's private caches.
 //  7. Protocol state legality: every cached state belongs to the
-//     configured protocol.
+//     configured protocol's spec table.
+//  8. Unique-state uniqueness: at most one copy of any state the spec
+//     declares unique (MESIF's one Forwarder, MOESI's and Dragon's one
+//     Owner) exists globally.
 func (m *Machine) CheckInvariants(addr uint64) error {
 	line := cache.LineAddr(addr)
 
@@ -48,8 +51,8 @@ func (m *Machine) CheckInvariants(addr uint64) error {
 
 			// Invariant 7: protocol legality.
 			for _, st := range []coherence.State{l1, l2} {
-				if st.Valid() && !m.cfg.Protocol.Has(st) {
-					return fmt.Errorf("core %d holds %v, illegal under %v", core.Global, st, m.cfg.Protocol)
+				if st.Valid() && !m.spec.Has(st) {
+					return fmt.Errorf("core %d holds %v, illegal under %s", core.Global, st, m.spec.Name())
 				}
 			}
 			// Invariant 4: L1 ⊆ L2.
@@ -98,6 +101,16 @@ func (m *Machine) CheckInvariants(addr uint64) error {
 	// Invariant 2: dirty uniqueness.
 	if dirty > 1 {
 		return fmt.Errorf("line %#x has %d dirty copies", line, dirty)
+	}
+	// Invariant 8: at most one copy of any spec-unique state.
+	counts := make(map[coherence.State]int)
+	for _, h := range holders {
+		counts[h.state]++
+	}
+	for st, n := range counts {
+		if n > 1 && m.spec.Unique(st) {
+			return fmt.Errorf("line %#x has %d copies in unique state %v under %s", line, n, st, m.spec.Name())
+		}
 	}
 	// Invariant 1: single writer implies sole copy.
 	if writers > 1 {

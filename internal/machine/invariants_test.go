@@ -85,6 +85,16 @@ func TestInvariantsAcrossVariants(t *testing.T) {
 			c.ExclusiveLLC = true
 			return c
 		}},
+		{"DRAGON-small", func() Config {
+			c := SmallConfig()
+			c.Protocol = coherence.Dragon
+			return c
+		}},
+		{"WT-NA-small", func() Config {
+			c := SmallConfig()
+			c.Protocol = coherence.WTNA
+			return c
+		}},
 		{"snoop-bus", func() Config {
 			c := SmallConfig()
 			c.SnoopBus = true
@@ -110,6 +120,84 @@ func TestInvariantsAcrossVariants(t *testing.T) {
 			}
 		})
 	}
+}
+
+// The generic unique-state invariant catches a second copy of a state
+// the spec declares unique (MESIF's Forwarder, MOESI's Owner) — states
+// the protocol machinery must never duplicate.
+func TestInvariantUniqueStateViolation(t *testing.T) {
+	cases := []struct {
+		proto  coherence.Protocol
+		unique coherence.State
+	}{
+		{coherence.MESIF, coherence.Forward},
+		{coherence.MOESI, coherence.Owned},
+		{coherence.Dragon, coherence.Owned},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		cfg.Protocol = tc.proto
+		w := sim.NewWorld(sim.Config{Seed: 7})
+		m := New(w, cfg)
+		w.Spawn("setup", func(th *sim.Thread) {
+			// Two sharers of a clean line, then corrupt both to the
+			// unique state behind the protocol's back.
+			m.Load(th, 0, addrB)
+			m.Load(th, 1, addrB)
+			if err := m.CheckInvariants(addrB); err != nil {
+				t.Fatalf("%s: clean sharing flagged: %v", tc.proto, err)
+			}
+			for _, g := range []int{0, 1} {
+				m.Core(g).L1.SetState(addrB, tc.unique)
+				m.Core(g).L2.SetState(addrB, tc.unique)
+			}
+			if err := m.CheckInvariants(addrB); err == nil {
+				t.Errorf("%s: duplicate %v copies not flagged", tc.proto, tc.unique)
+			}
+		})
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Under MOESI a remote read of M leaves a dirty Owned copy coexisting
+// with the reader's clean copy — legal, and exactly one O.
+func TestInvariantsMOESIOwnedSharing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protocol = coherence.MOESI
+	runOn(t, cfg, func(th *sim.Thread, m *Machine) {
+		m.Load(th, 0, addrB)
+		m.Store(th, 0, addrB) // owner in M
+		m.Load(th, 1, addrB)  // sibling read: M -> O + S copy
+		if got := m.ProbeState(0, addrB); got != coherence.Owned {
+			t.Fatalf("owner state after sibling read = %v, want O", got)
+		}
+		if err := m.CheckInvariants(addrB); err != nil {
+			t.Fatalf("O+S sharing flagged: %v", err)
+		}
+	})
+}
+
+// Under WT-NA no operation sequence ever mints an exclusive or dirty
+// private copy, so the LLC stays authoritative everywhere.
+func TestInvariantsWTNANeverExclusive(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protocol = coherence.WTNA
+	runOn(t, cfg, func(th *sim.Thread, m *Machine) {
+		m.Load(th, 0, addrB)
+		m.Store(th, 0, addrB)
+		m.Load(th, 6, addrB)
+		m.Store(th, 6, addrB)
+		for g := 0; g < m.Cores(); g++ {
+			if st := m.ProbeState(g, addrB); st.Valid() && st != coherence.Shared {
+				t.Fatalf("core %d holds %v under WT-NA, want S only", g, st)
+			}
+		}
+		if err := m.CheckInvariants(addrB); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // Directed invariant checks at the interesting transitions.

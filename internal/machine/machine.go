@@ -45,6 +45,16 @@ type Machine struct {
 	world *sim.World
 	rng   *sim.Rand
 
+	// spec is the resolved coherence protocol table every state
+	// transition, fill decision and store policy is looked up from.
+	spec *coherence.ProtocolSpec
+	// llcTrust caches whether the shared level can always answer a
+	// sole-sharer miss from its clean copy: true when the E->M
+	// notification mitigation is on, or when the protocol has no silent
+	// upgrades at all (write-through tables), so there is nothing for
+	// the LLC copy to go stale against.
+	llcTrust bool
+
 	sockets []*Socket
 	cores   []*Core // flat, by global id
 
@@ -139,10 +149,13 @@ func New(world *sim.World, cfg Config) *Machine {
 		panic(err)
 	}
 	rng := world.Rand().Split()
+	spec := coherence.MustSpec(cfg.Protocol)
 	m := &Machine{
 		cfg:         cfg,
 		world:       world,
 		rng:         rng,
+		spec:        spec,
+		llcTrust:    cfg.Mitigations.LLCNotifiedOfEToM || !spec.SilentUpgrades(),
 		upgraded:    make(map[uint64]bool),
 		flushEpochs: make(map[uint64]uint64),
 		lastFlush:   make(map[uint64]sim.Cycles),
@@ -200,6 +213,9 @@ func New(world *sim.World, cfg Config) *Machine {
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Spec returns the resolved coherence protocol table.
+func (m *Machine) Spec() *coherence.ProtocolSpec { return m.spec }
 
 // World returns the owning simulation world.
 func (m *Machine) World() *sim.World { return m.world }

@@ -16,7 +16,9 @@ import (
 	"testing"
 	"time"
 
+	"coherentleak/internal/coherence"
 	"coherentleak/internal/dispatch"
+	"coherentleak/internal/experiments"
 	"coherentleak/internal/harness"
 	"coherentleak/internal/machine"
 	"coherentleak/internal/service"
@@ -365,5 +367,63 @@ func TestSSELastEventIDResume(t *testing.T) {
 	// terminal, so the stream just ends).
 	if again := readSSE(t, ts, v.ID, full[len(full)-1].id); len(again) != 0 {
 		t.Fatalf("fully caught-up resume replayed %+v", again)
+	}
+}
+
+// TestFleetRunsProtocolMatrix pushes the real protocol × channel matrix
+// artifact through the daemon and a worker fleet: one cell per
+// registered protocol executes on the workers, and the assembled TSV is
+// byte-identical to a serial in-process run of the same plan.
+func TestFleetRunsProtocolMatrix(t *testing.T) {
+	reg := experiments.Artifacts()
+	_, ts := newTestServer(t, service.Options{Registry: reg, DefaultSeed: experiments.DefaultSeed})
+	for i := 0; i < 2; i++ {
+		kill := attachWorker(t, ts, fmt.Sprintf("mw%d", i), reg)
+		defer kill()
+	}
+	waitWorkers(t, ts, 2)
+
+	status, v, _ := postJob(t, ts, `{"artifacts":["protomatrix"],"sizing":"quick"}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d", status)
+	}
+	done := waitState(t, ts, v.ID, service.StateDone)
+	if want := len(coherence.Protocols()); done.Cells.Executed+done.Cells.Cached != want {
+		t.Fatalf("cells = %+v, want %d (one per protocol)", done.Cells, want)
+	}
+
+	code, tsv := fetch(t, ts, "/v1/jobs/"+v.ID+"/artifacts/protomatrix.tsv")
+	if code != http.StatusOK {
+		t.Fatalf("download = %d", code)
+	}
+	arts, err := reg.Select([]string{"protomatrix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &harness.Runner{Parallel: 1}
+	rep, err := r.Run(context.Background(), harness.Plan{
+		Cfg: machine.DefaultConfig(), Seed: experiments.DefaultSeed, Sizing: harness.SizingQuick,
+	}, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rep.Results[0].TSV(); !bytes.Equal(tsv, want) {
+		t.Fatalf("fleet matrix TSV differs from serial run:\n got: %q\nwant: %q", tsv, want)
+	}
+	// The matrix's headline: the state channel survives every protocol
+	// with silent upgrades and dies under WT-NA.
+	body := string(tsv)
+	if !strings.Contains(body, "WT-NA\tbinary-state") || !strings.Contains(body, "MESIF\tbinary-state") {
+		t.Fatalf("matrix missing expected rows:\n%s", body)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		f := strings.Split(line, "\t")
+		if len(f) < 7 || f[0] == "protocol" {
+			continue
+		}
+		wantSurvive := !(f[0] == "WT-NA" && (f[1] == "binary-state" || f[1] == "multibit"))
+		if got := f[5] == "true"; got != wantSurvive {
+			t.Errorf("%s/%s survives=%v, want %v", f[0], f[1], got, wantSurvive)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"coherentleak/internal/coherence"
 	"coherentleak/internal/harness"
 	"coherentleak/internal/replay"
 )
@@ -19,6 +20,7 @@ import (
 //	GET    /healthz                            liveness (503 while draining)
 //	GET    /metrics                            Prometheus text exposition
 //	GET    /v1/artifacts                       registry listing with cell counts
+//	GET    /v1/protocols                       registered coherence protocols
 //	POST   /v1/jobs                            submit a job (202; 429 when full)
 //	GET    /v1/jobs                            list jobs in submission order
 //	GET    /v1/jobs/{id}                       one job's state and result links
@@ -34,6 +36,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/artifacts", s.handleArtifacts)
+	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -117,6 +120,43 @@ func (s *Service) handleArtifacts(w http.ResponseWriter, r *http.Request) {
 		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"artifacts": out})
+}
+
+// protocolInfo is one coherence-protocol registry entry in the listing.
+type protocolInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// States are the protocol's legal states as single-letter names.
+	States []string `json:"states"`
+	// SilentUpgrades reports whether the protocol permits the silent
+	// clean-to-dirty upgrade the paper's channel is built on.
+	SilentUpgrades bool `json:"silentUpgrades"`
+	// Default marks the protocol jobs get when their config override
+	// names none.
+	Default bool `json:"default"`
+}
+
+// handleProtocols lists the registered coherence protocols — the names a
+// job's config override may set as "Protocol".
+func (s *Service) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	def, _ := coherence.SpecFor(s.opts.BaseConfig.Protocol)
+	var out []protocolInfo
+	for _, p := range coherence.Protocols() {
+		spec := coherence.MustSpec(p)
+		info := protocolInfo{
+			Name:           spec.Name(),
+			Description:    spec.Description(),
+			SilentUpgrades: spec.SilentUpgrades(),
+			Default:        def != nil && spec.Name() == def.Name(),
+		}
+		for _, st := range spec.States() {
+			if st.Valid() {
+				info.States = append(info.States, st.String())
+			}
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"protocols": out})
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -233,8 +233,8 @@ func TestArtifactListing(t *testing.T) {
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Artifacts) != 11 {
-		t.Fatalf("artifact count = %d, want 11", len(out.Artifacts))
+	if len(out.Artifacts) != 12 {
+		t.Fatalf("artifact count = %d, want 12", len(out.Artifacts))
 	}
 	byName := map[string]int{}
 	for _, a := range out.Artifacts {
@@ -520,5 +520,67 @@ func TestConfigOverridesChangeDigest(t *testing.T) {
 	}
 	if tw.Cells.Cached != 0 {
 		t.Fatalf("tweaked config served from base cache: %+v", tw.Cells)
+	}
+}
+
+// TestProtocolListingAndOverride exercises the protocol registry over
+// HTTP: GET /v1/protocols names every registered protocol, a job's
+// config override can select one by name, and an unknown name is
+// rejected at submission with the valid names in the error.
+func TestProtocolListingAndOverride(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{
+		Registry:    experiments.Artifacts(),
+		DefaultSeed: experiments.DefaultSeed,
+	})
+
+	code, body := fetch(t, ts, "/v1/protocols")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/protocols = %d: %s", code, body)
+	}
+	var listing struct {
+		Protocols []struct {
+			Name           string `json:"name"`
+			SilentUpgrades bool   `json:"silentUpgrades"`
+			Default        bool   `json:"default"`
+		} `json:"protocols"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	var def string
+	for _, p := range listing.Protocols {
+		got[p.Name] = p.SilentUpgrades
+		if p.Default {
+			def = p.Name
+		}
+	}
+	for _, want := range []string{"MESI", "MESIF", "MOESI", "DRAGON", "WT-NA"} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("listing missing protocol %s", want)
+		}
+	}
+	if def != "MESIF" {
+		t.Errorf("default protocol = %q, want MESIF", def)
+	}
+	if got["WT-NA"] || !got["MESIF"] {
+		t.Errorf("silentUpgrades wrong: %v", got)
+	}
+
+	// A job can select any registered protocol by name.
+	_, job, _ := postJob(t, ts, `{"artifacts":["table1"],"sizing":"quick","config":{"Protocol":"MOESI"}}`)
+	waitState(t, ts, job.ID, service.StateDone)
+
+	// Unknown protocols are rejected at submission, naming the options.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"artifacts":["table1"],"config":{"Protocol":"MESIFY"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(buf.String(), "MESIFY") || !strings.Contains(buf.String(), "DRAGON") {
+		t.Fatalf("unknown protocol: status %d, body %s (want 400 naming the registered protocols)", resp.StatusCode, buf.String())
 	}
 }
