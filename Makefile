@@ -8,7 +8,7 @@ GO ?= go
 # Worker count for test-dispatch and run-workers.
 N ?= 4
 
-.PHONY: build vet test test-race test-dispatch protocol-smoke bench bench-hotpath bench-smoke benchstat staticcheck ci run-daemon run-workers
+.PHONY: build vet test test-race test-dispatch protocol-smoke bench bench-hotpath bench-smoke bench-gate benchstat staticcheck ci run-daemon run-workers
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,17 @@ bench-hotpath:
 bench-smoke:
 	$(GO) test -bench=BenchmarkArtifact -benchtime=1x -run=^$$ .
 	$(GO) test -bench='LoadHit|LoadMiss' -benchtime=100x -benchmem -run=^$$ ./internal/machine/
+
+# Compiled-kernel performance gate: run every artifact bench under both
+# access-stream kernels in one invocation (same machine, same run) plus
+# the hot-path benches, then fail if the compiled kernel's aggregate
+# exceeds the interpreted reference by >10%. Both kernels produce
+# byte-identical TSVs, so the ratio is pure kernel overhead; an
+# aggregate >1.1x means the batching machinery regressed.
+bench-gate:
+	$(GO) test -bench='LoadHit|LoadMiss|StoreRFO' -benchtime=1000x -benchmem -run=^$$ ./internal/machine/
+	$(GO) test -bench=BenchmarkArtifact -benchtime=1x -run=^$$ . | tee /tmp/benchgate.txt
+	$(GO) run ./cmd/benchgate -max-regress 0.10 < /tmp/benchgate.txt
 
 # Compare two `go test -bench` outputs, e.g.:
 #   make bench > old.txt ... make bench > new.txt

@@ -32,14 +32,16 @@ func quickPlan() harness.Plan {
 	}
 }
 
-func runArtifacts(b *testing.B, names []string, parallel int) *harness.RunReport {
+func runArtifacts(b *testing.B, names []string, parallel int, kern string) *harness.RunReport {
 	b.Helper()
 	arts, err := experiments.Artifacts().Select(names)
 	if err != nil {
 		b.Fatal(err)
 	}
+	plan := quickPlan()
+	plan.Cfg.Kernel = kern
 	r := &harness.Runner{Parallel: parallel}
-	rep, err := r.Run(context.Background(), quickPlan(), arts)
+	rep, err := r.Run(context.Background(), plan, arts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -51,17 +53,22 @@ func runArtifacts(b *testing.B, names []string, parallel int) *harness.RunReport
 
 // BenchmarkArtifact regenerates each registered paper artifact at quick
 // sizing through the harness Runner — the same engine, registry and
-// cell decomposition cmd/experiments uses.
+// cell decomposition cmd/experiments uses — once per access-stream
+// kernel. The interp/compiled pair per artifact is what `make
+// bench-gate` compares: both produce byte-identical TSVs, so any timing
+// split is pure kernel overhead.
 func BenchmarkArtifact(b *testing.B) {
 	for _, name := range experiments.Artifacts().Names() {
-		b.Run(name, func(b *testing.B) {
-			var rows int
-			for i := 0; i < b.N; i++ {
-				rep := runArtifacts(b, []string{name}, 1)
-				rows = len(rep.Results[0].Rows)
-			}
-			b.ReportMetric(float64(rows), "rows")
-		})
+		for _, kern := range []string{machine.KernelInterp, machine.KernelCompiled} {
+			b.Run(name+"/"+kern, func(b *testing.B) {
+				var rows int
+				for i := 0; i < b.N; i++ {
+					rep := runArtifacts(b, []string{name}, 1, kern)
+					rows = len(rep.Results[0].Rows)
+				}
+				b.ReportMetric(float64(rows), "rows")
+			})
+		}
 	}
 }
 
@@ -72,7 +79,7 @@ func BenchmarkRunnerParallel(b *testing.B) {
 	for _, par := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("parallel%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				runArtifacts(b, names, par)
+				runArtifacts(b, names, par, machine.KernelInterp)
 			}
 		})
 	}

@@ -42,6 +42,7 @@ func main() {
 		name   = flag.String("name", "", "worker name in /v1/workers and SSE events (default host-pid)")
 		slots  = flag.Int("slots", 1, "cells executed concurrently")
 		poll   = flag.Duration("poll", 0, "long-poll wait per lease request (0 = server suggestion)")
+		kern   = flag.String("kernel", "", "force this worker's access-stream kernel: interp or compiled (empty = follow the coordinator)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		Slots:    *slots,
 		PollWait: *poll,
 		Log:      os.Stderr,
+		Kernel:   *kern,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cohsim-worker:", err)

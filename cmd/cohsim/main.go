@@ -24,14 +24,14 @@ import (
 
 func main() {
 	var (
-		sockets  = flag.Int("sockets", 2, "processor sockets")
-		cores    = flag.Int("cores", 6, "cores per socket")
+		sockets   = flag.Int("sockets", 2, "processor sockets")
+		cores     = flag.Int("cores", 6, "cores per socket")
 		protocol  = flag.String("protocol", "MESIF", "coherence protocol (see -protocols)")
 		listProto = flag.Bool("protocols", false, "list registered coherence protocols and exit")
-		samples  = flag.Int("samples", 1000, "timed loads per combination pair")
-		seed     = flag.Uint64("seed", 42, "simulation seed")
-		etom     = flag.Bool("mitigate-etom", false, "enable the E->M notification hardware fix")
-		equalize = flag.Bool("mitigate-equalize", false, "enable socket latency equalization")
+		samples   = flag.Int("samples", 1000, "timed loads per combination pair")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		etom      = flag.Bool("mitigate-etom", false, "enable the E->M notification hardware fix")
+		equalize  = flag.Bool("mitigate-equalize", false, "enable socket latency equalization")
 	)
 	flag.Parse()
 

@@ -55,6 +55,7 @@ import (
 
 	"coherentleak/internal/experiments"
 	"coherentleak/internal/harness"
+	"coherentleak/internal/machine"
 	"coherentleak/internal/service"
 )
 
@@ -75,6 +76,7 @@ func main() {
 		workerTTL    = flag.Duration("worker-ttl", 0, "silent-worker expiry (0 = 3x lease TTL)")
 		leaseTries   = flag.Int("lease-attempts", 0, "worker attempts per cell before local fallback (0 = 3)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+		kern         = flag.String("kernel", machine.KernelInterp, "default access-stream kernel for jobs: interp or compiled (per-job `kernel` field overrides)")
 	)
 	flag.Parse()
 
@@ -95,8 +97,16 @@ func main() {
 		}()
 	}
 
+	base := machine.DefaultConfig()
+	base.Kernel = *kern
+	if err := base.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "cohsimd:", err)
+		os.Exit(1)
+	}
+
 	opts := service.Options{
 		Registry:            experiments.Artifacts(),
+		BaseConfig:          &base,
 		QueueDepth:          *queue,
 		Executors:           *jobs,
 		CellParallel:        *parallel,

@@ -8,7 +8,7 @@
 //
 //	experiments [-only table1,fig2,fig6,fig7,fig8,fig9,fig10,fig11,peaks,mitigations,capacity]
 //	            [-out results] [-quick] [-seed N] [-parallel N] [-timeout D]
-//	            [-cache=false] [-archive=false] [-list]
+//	            [-cache=false] [-archive=false] [-list] [-kernel interp|compiled]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // A -timeout (or Ctrl-C / SIGTERM) cancels the run between cells: cells
@@ -25,6 +25,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"syscall"
@@ -46,10 +47,18 @@ func main() {
 		archive  = flag.Bool("archive", true, "archive replay JSON records under <out>/replay")
 		list     = flag.Bool("list", false, "list registered artifacts and exit")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		kern     = flag.String("kernel", machine.KernelInterp, "access-stream kernel: interp or compiled (byte-identical output)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	// A sweep's live heap is small and bounded (one machine per in-flight
+	// cell), so frequent GC cycles buy nothing; relax the pacer unless the
+	// user asked for specific behavior via GOGC.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 
 	// stopProfiles flushes any active profiles; it must run before every
 	// exit path, including the failed-cells os.Exit below.
@@ -135,8 +144,13 @@ func main() {
 		Manifest: manifest,
 		Sinks:    sinks,
 	}
+	cfg := machine.DefaultConfig()
+	cfg.Kernel = *kern
+	if err := cfg.Validate(); err != nil {
+		die(err)
+	}
 	report, err := runner.Run(ctx, harness.Plan{
-		Cfg:    machine.DefaultConfig(),
+		Cfg:    cfg,
 		Seed:   *seed,
 		Sizing: sizing,
 	}, arts)

@@ -71,11 +71,15 @@ type ReplacementPolicy interface {
 }
 
 // Cache is a single set-associative cache array. Line metadata lives in
-// one contiguous set-major slice (lines[set*ways+way]) so a whole cache
-// is a single allocation and a set probe walks adjacent memory.
+// per-set slices allocated on first fill: a set probe still walks one
+// contiguous run of memory, but constructing a cache costs only the
+// set-pointer table. That matters because the harness builds many
+// short-lived machines (one per calibration band, per covert session)
+// that touch a handful of sets — eagerly zeroing a multi-megabyte LLC
+// array for each dominated construction cost.
 type Cache struct {
 	geo    Geometry
-	lines  []Line // set-major: lines[set*ways : (set+1)*ways] is one set
+	sets   [][]Line // sets[s] is nil until the first fill touches set s
 	ways   int
 	policy ReplacementPolicy
 	// lruFast marks the built-in LRU policy: the hot path then uses the
@@ -115,7 +119,7 @@ func New(geo Geometry, policy ReplacementPolicy) (*Cache, error) {
 	sets := geo.Sets()
 	c := &Cache{
 		geo:     geo,
-		lines:   make([]Line, sets*geo.Ways),
+		sets:    make([][]Line, sets),
 		ways:    geo.Ways,
 		policy:  policy,
 		lruFast: lruFast,
@@ -154,10 +158,19 @@ func (c *Cache) index(line uint64) (set uint64, tag uint64) {
 	return n % c.numSets, n
 }
 
-// set returns the ways of set s as a slice of the flat array.
+// set returns the ways of set s, or nil when the set was never filled.
 func (c *Cache) set(s uint64) []Line {
-	base := int(s) * c.ways
-	return c.lines[base : base+c.ways]
+	return c.sets[s]
+}
+
+// setMake returns the ways of set s, allocating them on first use.
+func (c *Cache) setMake(s uint64) []Line {
+	ws := c.sets[s]
+	if ws == nil {
+		ws = make([]Line, c.ways)
+		c.sets[s] = ws
+	}
+	return ws
 }
 
 // Probe returns the line's state without updating recency, or Invalid if
@@ -215,7 +228,7 @@ func (c *Cache) Insert(addr uint64, state coherence.State) (ev Evicted, ok bool)
 	}
 	line := LineAddr(addr)
 	set, tag := c.index(line)
-	ways := c.set(set)
+	ways := c.setMake(set)
 
 	// Re-fill of a present line just updates state.
 	for i := range ways {
@@ -230,6 +243,40 @@ func (c *Cache) Insert(addr uint64, state coherence.State) (ev Evicted, ok bool)
 			return Evicted{}, false
 		}
 	}
+
+	var w int
+	if c.lruFast {
+		w = lruVictim(ways)
+	} else {
+		w = c.policy.Victim(ways)
+	}
+	victim := &ways[w]
+	if victim.Valid() {
+		ev = Evicted{Addr: c.addrOf(set, victim.Tag), State: victim.State}
+		ok = true
+		c.Stats.Evictions++
+	}
+	c.clock++
+	*victim = Line{Tag: tag, State: state, lru: c.clock}
+	if !c.lruFast {
+		c.policy.Touch(ways, w)
+	}
+	c.Stats.Fills++
+	return ev, ok
+}
+
+// InsertAbsent is Insert for callers that have already proven the line is
+// not present (a preceding Lookup or Probe missed): it skips the re-fill
+// scan and goes straight to victim selection. Behavior is otherwise
+// identical to Insert; calling it with a present line would duplicate the
+// tag within the set, so the proof is the caller's obligation.
+func (c *Cache) InsertAbsent(addr uint64, state coherence.State) (ev Evicted, ok bool) {
+	if !state.Valid() {
+		panic("cache: InsertAbsent with Invalid state")
+	}
+	line := LineAddr(addr)
+	set, tag := c.index(line)
+	ways := c.setMake(set)
 
 	var w int
 	if c.lruFast {
@@ -314,17 +361,33 @@ func (c *Cache) SetAddrs(addr uint64) []uint64 {
 // ValidLines returns the number of valid lines across all sets.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid() {
-			n++
+	for _, ways := range c.sets {
+		for i := range ways {
+			if ways[i].Valid() {
+				n++
+			}
 		}
 	}
 	return n
 }
 
+// ForEachValid calls fn for every valid line in deterministic set-major
+// way order, with the line's address and coherence state. It is the
+// snapshot primitive behind the differential-test state digest.
+func (c *Cache) ForEachValid(fn func(addr uint64, st coherence.State)) {
+	for s, ways := range c.sets {
+		for i := range ways {
+			l := &ways[i]
+			if l.Valid() {
+				fn(c.addrOf(uint64(s), l.Tag), l.State)
+			}
+		}
+	}
+}
+
 // Clear invalidates the whole cache (test helper / machine reset).
 func (c *Cache) Clear() {
-	clear(c.lines)
+	clear(c.sets)
 }
 
 // SetIndexOf exposes the set index for addr (for conflict-set workload

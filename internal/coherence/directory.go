@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
 // Directory tracks, per cache line, which private caches hold a copy —
@@ -12,17 +13,64 @@ import (
 // the miss must be forwarded to the owner; two or more mean the line is in
 // S and the LLC's clean copy can answer directly.
 //
-// The implementation is a sparse map keyed by line address holding the
-// 16-byte entries by value: entries exist only for lines with at least
-// one sharer or a clean LLC copy, which keeps memory proportional to
-// live lines rather than the address space, and the value layout means
-// the steady state allocates nothing and the GC never scans the table
-// (no interior pointers). All mutation goes through the named helpers
-// below; Lookup returns a copy, so writing to the returned entry does
-// not change the directory.
+// The implementation is an open-addressing hash table with inline
+// 32-byte slots: entries exist only for lines with at least one sharer
+// or a clean LLC copy, a probe touches exactly one cache line of table
+// memory (no pointer chase, no GC-visible pointers), and deletion uses
+// tombstones that the next growth rehash reclaims. A small move-to-front
+// lookaside short-circuits the table for repeated queries of the same
+// few lines — one coherence transaction interrogates its line many times
+// (census, sharer mask, LLC validity, then the mutations) interleaved
+// with its eviction victims'. All mutation goes through the named
+// helpers below; Lookup returns a copy, so writing to the returned entry
+// does not change the directory.
 type Directory struct {
-	cores   int
-	entries map[uint64]DirEntry
+	cores int
+
+	// slots is the open-addressing table; mask = len(slots)-1 (power of
+	// two). used counts live entries, tombs counts tombstones; the table
+	// grows (shedding tombstones) when used+tombs exceeds 3/4 capacity.
+	slots []dirSlot
+	mask  uint64
+	used  int
+	tombs int
+
+	// lookLine/lookEnt form the lookaside. A slot pointer stays valid
+	// only until the next insertion (growth moves the slots array), so
+	// the lookaside is cleared on every rehash; callers outside this
+	// file never see slot pointers.
+	lookLine [lookN]uint64
+	lookEnt  [lookN]*DirEntry
+
+	// missLine/missSlot memoize the last failed probe: the miss path
+	// interrogates a brand-new line (CensusOf) and then immediately
+	// creates its record (AddSharer), and the memo lets entMake reuse
+	// the failed probe's free-slot candidate instead of re-walking the
+	// chain. The memoized slot stays on missLine's probe chain until a
+	// rehash (the only operation that creates empty slots), so grow()
+	// invalidates it; entMake additionally re-checks that the slot is
+	// still free before using it.
+	missLine uint64
+	missSlot int
+}
+
+// lookN is the lookaside depth: a miss transaction touches the missing
+// line, an L2-eviction victim, an LLC-eviction victim and possibly a
+// remote socket's record, so four slots keep the primary line resident
+// across the interleaved victim handling.
+const lookN = 4
+
+const (
+	slotEmpty uint8 = iota
+	slotUsed
+	slotTomb
+)
+
+// dirSlot is one table slot: key, state, and the entry inline.
+type dirSlot struct {
+	line  uint64
+	state uint8
+	e     DirEntry
 }
 
 // DirEntry is the directory's view of one cache line.
@@ -44,43 +92,227 @@ func NewDirectory(cores int) *Directory {
 	if cores <= 0 || cores > 64 {
 		panic(fmt.Sprintf("coherence: directory supports 1..64 cores, got %d", cores))
 	}
-	return &Directory{cores: cores, entries: make(map[uint64]DirEntry)}
+	return &Directory{cores: cores, missSlot: -1}
 }
 
 // Cores returns the size of the coherence domain.
 func (d *Directory) Cores() int { return d.cores }
+
+// dirHash spreads line addresses (low 6 bits always zero) over the
+// table with a Fibonacci multiplicative hash. The multiply concentrates
+// entropy in the high bits, and the table indexes with low bits, so the
+// high half is folded down — without the fold, sequential lines form
+// arithmetic probe chains and linear probing degenerates.
+func dirHash(line uint64) uint64 {
+	h := line * 0x9E3779B97F4A7C15
+	return h ^ h>>32
+}
+
+// ent returns line's live entry, or nil when the directory has no
+// record, consulting the lookaside before the table. The returned
+// pointer is valid only until the next insertion.
+func (d *Directory) ent(line uint64) *DirEntry {
+	if d.lookEnt[0] != nil && d.lookLine[0] == line {
+		return d.lookEnt[0]
+	}
+	for i := 1; i < lookN; i++ {
+		if d.lookEnt[i] != nil && d.lookLine[i] == line {
+			e := d.lookEnt[i]
+			copy(d.lookLine[1:i+1], d.lookLine[:i])
+			copy(d.lookEnt[1:i+1], d.lookEnt[:i])
+			d.lookLine[0], d.lookEnt[0] = line, e
+			return e
+		}
+	}
+	e := d.find(line)
+	if e != nil {
+		d.lookPush(line, e)
+	}
+	return e
+}
+
+// lookPush records line at the front of the lookaside.
+func (d *Directory) lookPush(line uint64, e *DirEntry) {
+	copy(d.lookLine[1:], d.lookLine[:lookN-1])
+	copy(d.lookEnt[1:], d.lookEnt[:lookN-1])
+	d.lookLine[0], d.lookEnt[0] = line, e
+}
+
+// lookDrop removes line from the lookaside, if present.
+func (d *Directory) lookDrop(line uint64) {
+	for i := 0; i < lookN; i++ {
+		if d.lookLine[i] == line {
+			d.lookEnt[i] = nil
+		}
+	}
+}
+
+// lookClear empties the lookaside (slot pointers went stale).
+func (d *Directory) lookClear() {
+	for i := 0; i < lookN; i++ {
+		d.lookEnt[i] = nil
+	}
+}
+
+// find probes the table for line's live slot. On a miss it memoizes the
+// first free slot (tombstone or the terminating empty) seen on the chain
+// for a subsequent entMake of the same line.
+func (d *Directory) find(line uint64) *DirEntry {
+	if d.used == 0 {
+		return nil
+	}
+	free := -1
+	for h := dirHash(line); ; h++ {
+		i := int(h & d.mask)
+		s := &d.slots[i]
+		switch {
+		case s.state == slotEmpty:
+			if free < 0 {
+				free = i
+			}
+			d.missLine, d.missSlot = line, free
+			return nil
+		case s.state == slotTomb:
+			if free < 0 {
+				free = i
+			}
+		case s.line == line:
+			return &s.e
+		}
+	}
+}
+
+// entMake returns line's live entry, creating an empty one if needed.
+func (d *Directory) entMake(line uint64) *DirEntry {
+	if e := d.ent(line); e != nil {
+		return e
+	}
+	if len(d.slots) == 0 || (d.used+d.tombs+1)*4 > len(d.slots)*3 {
+		d.grow()
+	}
+	var free *dirSlot
+	if d.missSlot >= 0 && d.missLine == line && d.slots[d.missSlot].state != slotUsed {
+		free = &d.slots[d.missSlot]
+	} else {
+		for h := dirHash(line); ; h++ {
+			s := &d.slots[h&d.mask]
+			if s.state == slotTomb {
+				if free == nil {
+					free = s
+				}
+				continue
+			}
+			if s.state == slotEmpty {
+				if free == nil {
+					free = s
+				}
+				break
+			}
+		}
+	}
+	if free.state == slotTomb {
+		d.tombs--
+	}
+	*free = dirSlot{line: line, state: slotUsed}
+	d.used++
+	d.lookPush(line, &free.e)
+	return &free.e
+}
+
+// grow rehashes the table, shedding tombstones. Capacity doubles only
+// when live entries fill more than 3/8 of it; otherwise the rehash keeps
+// the size and merely reclaims tombstones — without this, workloads that
+// constantly add and drop records (streaming evictions) would trigger
+// doubling on tombstone pressure alone and balloon the table.
+func (d *Directory) grow() {
+	n := len(d.slots) * 2
+	if d.used*8 <= len(d.slots)*3 {
+		n = len(d.slots)
+	}
+	if n < 64 {
+		n = 64
+	}
+	old := d.slots
+	d.slots = make([]dirSlot, n)
+	d.mask = uint64(n - 1)
+	d.tombs = 0
+	d.missSlot = -1
+	d.lookClear()
+	for i := range old {
+		s := &old[i]
+		if s.state != slotUsed {
+			continue
+		}
+		for h := dirHash(s.line); ; h++ {
+			t := &d.slots[h&d.mask]
+			if t.state == slotEmpty {
+				*t = *s
+				break
+			}
+		}
+	}
+}
+
+// drop removes line's record.
+func (d *Directory) drop(line uint64) {
+	if d.used == 0 {
+		return
+	}
+	for h := dirHash(line); ; h++ {
+		s := &d.slots[h&d.mask]
+		if s.state == slotEmpty {
+			return
+		}
+		if s.state == slotUsed && s.line == line {
+			s.state = slotTomb
+			s.e = DirEntry{}
+			d.used--
+			d.tombs++
+			d.lookDrop(line)
+			return
+		}
+	}
+}
 
 // Lookup returns a copy of the entry for line; ok is false when the
 // directory has no record (no sharers and no LLC copy). Mutating the
 // returned value does not change the directory — use the mutation
 // helpers (AddSharer, MarkClean, InvalidateLLC, ...) instead.
 func (d *Directory) Lookup(line uint64) (e DirEntry, ok bool) {
-	e, ok = d.entries[line]
-	return e, ok
+	if p := d.ent(line); p != nil {
+		return *p, true
+	}
+	return DirEntry{}, false
 }
 
 // SharerCount returns the number of private caches holding line.
 func (d *Directory) SharerCount(line uint64) int {
-	return bits.OnesCount64(d.entries[line].Sharers)
+	if e := d.ent(line); e != nil {
+		return bits.OnesCount64(e.Sharers)
+	}
+	return 0
 }
 
 // SharerMask returns the core-valid bit vector for line (zero when the
 // directory has no record). It is the allocation-free iteration surface
 // for the per-access hot path; callers walk it with bits.TrailingZeros64.
 func (d *Directory) SharerMask(line uint64) uint64 {
-	return d.entries[line].Sharers
+	if e := d.ent(line); e != nil {
+		return e.Sharers
+	}
+	return 0
 }
 
 // IsSharer reports whether core holds line.
 func (d *Directory) IsSharer(line uint64, core int) bool {
 	d.check(core)
-	return d.entries[line].Sharers&(1<<uint(core)) != 0
+	return d.SharerMask(line)&(1<<uint(core)) != 0
 }
 
 // SoleSharer returns the single sharer of line, or -1 if the sharer count
 // is not exactly one.
 func (d *Directory) SoleSharer(line uint64) int {
-	s := d.entries[line].Sharers
+	s := d.SharerMask(line)
 	if bits.OnesCount64(s) != 1 {
 		return -1
 	}
@@ -90,7 +322,7 @@ func (d *Directory) SoleSharer(line uint64) int {
 // Sharers returns the core indices currently holding line, ascending.
 // It allocates; hot paths iterate SharerMask instead.
 func (d *Directory) Sharers(line uint64) []int {
-	v := d.entries[line].Sharers
+	v := d.SharerMask(line)
 	if v == 0 {
 		return nil
 	}
@@ -109,13 +341,12 @@ func (d *Directory) Sharers(line uint64) []int {
 // MarkClean is called.
 func (d *Directory) AddSharer(line uint64, core int) {
 	d.check(core)
-	e := d.entries[line]
+	e := d.entMake(line)
 	e.Sharers |= 1 << uint(core)
 	if bits.OnesCount64(e.Sharers) > 1 {
 		// Two or more sharers implies every copy is clean (S state).
 		e.OwnerDirty = false
 	}
-	d.entries[line] = e
 }
 
 // RemoveSharer records that core no longer holds line (eviction or
@@ -123,37 +354,32 @@ func (d *Directory) AddSharer(line uint64, core int) {
 // are garbage-collected.
 func (d *Directory) RemoveSharer(line uint64, core int) {
 	d.check(core)
-	e, ok := d.entries[line]
-	if !ok {
+	e := d.ent(line)
+	if e == nil {
 		return
 	}
 	e.Sharers &^= 1 << uint(core)
 	if e.Sharers == 0 {
 		e.OwnerDirty = false
 		if !e.LLCValid {
-			delete(d.entries, line)
-			return
+			d.drop(line)
 		}
 	}
-	d.entries[line] = e
 }
 
 // SetOwnerDirty marks the sole sharer's copy as possibly modified
 // (the line is in E or M in that private cache), meaning the LLC copy may
 // be stale and misses must be forwarded to the owner.
 func (d *Directory) SetOwnerDirty(line uint64) {
-	e := d.entries[line]
-	e.OwnerDirty = true
-	d.entries[line] = e
+	d.entMake(line).OwnerDirty = true
 }
 
 // MarkClean records that the LLC holds a clean, current copy of the line
 // (after a write-back or a fill from memory).
 func (d *Directory) MarkClean(line uint64) {
-	e := d.entries[line]
+	e := d.entMake(line)
 	e.LLCValid = true
 	e.OwnerDirty = false
-	d.entries[line] = e
 }
 
 // InvalidateLLC drops the clean-copy mark (LLC eviction of the line, or
@@ -161,21 +387,19 @@ func (d *Directory) MarkClean(line uint64) {
 // no LLC copy are reclaimed, so steady-state runs do not accumulate dead
 // records.
 func (d *Directory) InvalidateLLC(line uint64) {
-	e, ok := d.entries[line]
-	if !ok {
+	e := d.ent(line)
+	if e == nil {
 		return
 	}
 	e.LLCValid = false
 	if e.Sharers == 0 {
-		delete(d.entries, line)
-		return
+		d.drop(line)
 	}
-	d.entries[line] = e
 }
 
 // Clear removes every record of line (clflush reaching the directory).
 func (d *Directory) Clear(line uint64) {
-	delete(d.entries, line)
+	d.drop(line)
 }
 
 // Census classifies a line the way the paper's §VI-A service-path logic
@@ -206,7 +430,7 @@ func (c Census) String() string {
 
 // CensusOf returns the sharer census for line.
 func (d *Directory) CensusOf(line uint64) Census {
-	switch n := bits.OnesCount64(d.entries[line].Sharers); {
+	switch n := bits.OnesCount64(d.SharerMask(line)); {
 	case n == 0:
 		return CensusNone
 	case n == 1:
@@ -218,7 +442,22 @@ func (d *Directory) CensusOf(line uint64) Census {
 
 // Lines returns the number of lines with directory records (for tests and
 // capacity accounting).
-func (d *Directory) Lines() int { return len(d.entries) }
+func (d *Directory) Lines() int { return d.used }
+
+// ForEach calls fn for every directory record in ascending line order —
+// a deterministic snapshot for state digests and dumps.
+func (d *Directory) ForEach(fn func(line uint64, e DirEntry)) {
+	idx := make([]int, 0, d.used)
+	for i := range d.slots {
+		if d.slots[i].state == slotUsed {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool { return d.slots[idx[i]].line < d.slots[idx[j]].line })
+	for _, i := range idx {
+		fn(d.slots[i].line, d.slots[i].e)
+	}
+}
 
 func (d *Directory) check(core int) {
 	if core < 0 || core >= d.cores {

@@ -58,7 +58,7 @@ func measure(cfg machine.Config, seed uint64, n int, extra func(*sim.World, *mac
 			out = append(out, float64(m.Load(th, 0, probeAddr).Latency))
 		}
 	})
-	if err := w.RunUntil(func() bool { return len(out) >= n }); err != nil {
+	if err := w.RunUntilDeadline(sim.NoDeadline, func() bool { return len(out) >= n }); err != nil {
 		return nil, err
 	}
 	w.Drain()

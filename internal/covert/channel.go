@@ -154,9 +154,7 @@ func (c *Channel) Run(bits []byte) (*Result, error) {
 		est := c.Params.EstimatePeriodCycles(c.Config, c.Scenario)
 		limit = sim.Cycles(est*float64(tr.sched.periods())*50) + 50_000_000
 	}
-	err = sess.World.RunUntil(func() bool {
-		return sp.done || sess.World.Now() > limit
-	})
+	err = sess.World.RunUntilDeadline(limit, func() bool { return sp.done })
 	if err != nil {
 		return nil, err
 	}

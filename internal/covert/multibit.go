@@ -233,7 +233,7 @@ func (c *MultiBitChannel) Run(bits []byte) (*MultiBitResult, error) {
 	sp := newMultiBitSpy(sess, c.Params, bands)
 
 	limit := sim.Cycles(float64(len(sched.slots)+c.Params.MaxPeriods/100)*3000) + 100_000_000
-	if err := sess.World.RunUntil(func() bool { return sp.done || sess.World.Now() > limit }); err != nil {
+	if err := sess.World.RunUntilDeadline(limit, func() bool { return sp.done }); err != nil {
 		return nil, err
 	}
 	tr.stop()

@@ -116,7 +116,7 @@ func (c *ParallelChannel) Run(bits []byte) (*ParallelResult, error) {
 
 	est := c.Params.EstimatePeriodCycles(c.Config, c.Scenario) * float64(c.Lanes)
 	limit := sim.Cycles(est*float64(tr.periods)*50) + 100_000_000
-	if err := sess.World.RunUntil(func() bool { return sp.done || sess.World.Now() > limit }); err != nil {
+	if err := sess.World.RunUntilDeadline(limit, func() bool { return sp.done }); err != nil {
 		return nil, err
 	}
 	tr.stop()

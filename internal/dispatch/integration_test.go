@@ -11,7 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"coherentleak/internal/experiments"
 	"coherentleak/internal/harness"
+	"coherentleak/internal/machine"
 )
 
 // blockOnce makes one cell of the test grid hang on its first
@@ -203,5 +205,55 @@ func TestHTTPWorkerUnknownCellReportsFailure(t *testing.T) {
 	}
 	if rep.Err() == nil {
 		t.Fatal("aggregated error missing")
+	}
+}
+
+// TestFleetCompiledKernelByteIdentity runs a real experiment artifact
+// (fig2, quick sizing) through HTTP fleet workers with the compiled
+// access-stream kernel and requires the assembled TSV to be
+// byte-identical to a serial in-process run of the interpreted
+// reference kernel: executor topology and kernel choice must both be
+// invisible in the output bytes.
+func TestFleetCompiledKernelByteIdentity(t *testing.T) {
+	reg := experiments.Artifacts()
+	f := NewFleet(Options{LeaseTTL: time.Hour, WorkerTTL: time.Hour})
+	defer f.Close()
+	mux := http.NewServeMux()
+	f.Routes(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	stop := startWorkers(t, ts.URL, reg, 2)
+	defer stop()
+	waitUntil(t, func() bool { return f.Stats().LiveWorkers == 2 })
+
+	compiled := machine.DefaultConfig()
+	compiled.Kernel = machine.KernelCompiled
+	plan := harness.Plan{Cfg: compiled, Seed: experiments.DefaultSeed, Sizing: harness.SizingQuick}
+
+	arts, err := reg.Select([]string{"fig2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := (&harness.Runner{Dispatcher: f}).Run(context.Background(), plan, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Results[0].Cells {
+		if c.Worker == "" {
+			t.Fatalf("cell %s ran in-process; want a fleet worker", c.Cell)
+		}
+	}
+
+	interp := harness.Plan{Cfg: machine.DefaultConfig(), Seed: experiments.DefaultSeed, Sizing: harness.SizingQuick}
+	ref, err := (&harness.Runner{Parallel: 1}).Run(context.Background(), interp, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Results[0].TSV(), ref.Results[0].TSV(); !bytes.Equal(got, want) {
+		t.Fatalf("fleet compiled-kernel TSV differs from serial interpreted run:\n got: %q\nwant: %q", got, want)
 	}
 }

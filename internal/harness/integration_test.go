@@ -10,6 +10,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"coherentleak/internal/experiments"
@@ -127,5 +128,49 @@ func TestManifestCacheAcrossProcessBoundary(t *testing.T) {
 	}
 	if !bytes.Equal(first.Results[0].TSV(), second.Results[0].TSV()) {
 		t.Fatal("cached rerun TSV differs")
+	}
+}
+
+// compiledPlan is quickPlan with the compiled access-stream kernel
+// selected. Config.Kernel is digest-exempt, so the two plans address the
+// same cache entries — the TSVs must be byte-identical either way.
+func compiledPlan() harness.Plan {
+	p := quickPlan()
+	p.Cfg.Kernel = machine.KernelCompiled
+	return p
+}
+
+// TestCompiledKernelGOMAXPROCS4Identity is the ISSUE's multi-core
+// determinism gate: with the Go scheduler forced to 4 OS threads (real
+// parallel cell execution regardless of host shape), a compiled-kernel
+// artifact run at -parallel 1 and -parallel 8 must produce byte-identical
+// TSVs — and the same bytes as the interpreted reference kernel.
+func TestCompiledKernelGOMAXPROCS4Identity(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	arts, err := experiments.Artifacts().Select([]string{"fig2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p harness.Plan, parallel int) []byte {
+		rep, err := (&harness.Runner{Parallel: parallel}).Run(context.Background(), p, arts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Results[0].TSV()
+	}
+
+	serial := run(compiledPlan(), 1)
+	parallel := run(compiledPlan(), 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("compiled kernel TSV differs between -parallel 1 and -parallel 8 under GOMAXPROCS=4:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+	interp := run(quickPlan(), 4)
+	if !bytes.Equal(serial, interp) {
+		t.Fatalf("compiled kernel TSV differs from interpreted reference:\n--- compiled ---\n%s--- interp ---\n%s", serial, interp)
 	}
 }

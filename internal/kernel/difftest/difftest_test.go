@@ -1,0 +1,138 @@
+package difftest
+
+import (
+	"testing"
+
+	"coherentleak/internal/coherence"
+	"coherentleak/internal/kernel"
+	"coherentleak/internal/machine"
+	"coherentleak/internal/sim"
+)
+
+// corpusPerProtocol gives 500 deterministic cases across the 5 builtin
+// protocols in a normal `go test` run.
+const corpusPerProtocol = 100
+
+// TestDifferentialCorpus executes the deterministic corpus: for every
+// builtin protocol, 100 seeded random traces compared between the
+// interpreted and compiled kernels. Protocol groups run in parallel so
+// `go test -race` also exercises concurrent worlds.
+func TestDifferentialCorpus(t *testing.T) {
+	protos := coherence.Protocols()
+	if len(protos) != 5 {
+		t.Fatalf("builtin protocol count = %d, want 5 (corpus contract)", len(protos))
+	}
+	for pi, proto := range protos {
+		pi, proto := pi, proto
+		t.Run(string(proto), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < corpusPerProtocol; i++ {
+				seed := uint64(pi*corpusPerProtocol+i)*0x9E3779B9 + 1
+				tr := Generate(seed, proto)
+				if mm := Compare(tr); mm != nil {
+					small := Shrink(tr)
+					t.Fatalf("seed %#x case %d: %v\nshrunk repro: seed=%#x threads=%d ops=%d\n%+v",
+						seed, i, mm, small.Seed, len(small.Threads), small.ops(), small)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledPathEngages guards the corpus against vacuity: across the
+// corpus the compiled kernel must actually fuse a large share of
+// operations, not silently fall back to the interpreter.
+func TestCompiledPathEngages(t *testing.T) {
+	var compiled, total uint64
+	for i := 0; i < 20; i++ {
+		tr := Generate(uint64(i)*7919+3, coherence.MESIF)
+		rc := Run(tr, machine.KernelCompiled)
+		compiled += rc.Stream.CompiledOps
+		total += rc.Stream.CompiledOps + rc.Stream.UnfusedOps + rc.Stream.InterpOps
+	}
+	if total == 0 {
+		t.Fatal("corpus produced no operations")
+	}
+	if compiled*2 < total {
+		t.Fatalf("compiled path fused only %d of %d ops; fast path is not engaging", compiled, total)
+	}
+}
+
+// TestFallbacksExercised checks the corpus covers the counted fallback
+// conditions: stores through read-only shared pages must interpret
+// per-op (COW faulting path).
+func TestFallbacksExercised(t *testing.T) {
+	var fallbacks uint64
+	for i := 0; i < 50; i++ {
+		tr := Generate(uint64(i)*104729+11, coherence.MESI)
+		rc := Run(tr, machine.KernelCompiled)
+		fallbacks += rc.Stream.FallbackOps
+	}
+	if fallbacks == 0 {
+		t.Fatal("no per-op fallbacks across 50 cases; shared-page stores are not exercised")
+	}
+}
+
+// TestTracedMachineFallsBackWholeProgram verifies the whole-program
+// disengage: with a trace observer attached the compiled kernel must
+// interpret everything (events must arrive in cycle order), and still
+// match the interpreted kernel's event stream.
+func TestTracedMachineFallsBackWholeProgram(t *testing.T) {
+	tr := Generate(42, coherence.MESIF)
+	for _, mode := range []string{machine.KernelInterp, machine.KernelCompiled} {
+		w := sim.NewWorld(sim.Config{Seed: 1})
+		cfg := machine.DefaultConfig()
+		cfg.Kernel = mode
+		m := machine.New(w, cfg)
+		var events int
+		m.SetAccessObserver(func(machine.AccessEvent) { events = events + 1 })
+		k := kernel.New(m, 0)
+		p := k.NewProcess("p")
+		va := p.MustMmap(1)
+		k.Spawn(p, 0, "t", func(kt *kernel.Thread) {
+			prog := kernel.NewProgram(p, 4)
+			prog.Load(va, 100)
+			prog.Store(va+64, 100)
+			kt.Exec(prog, nil)
+		})
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if events != 2 {
+			t.Fatalf("mode %s: %d trace events, want 2", mode, events)
+		}
+		if mode == machine.KernelCompiled && k.Stream.FallbackPrograms != 1 {
+			t.Fatalf("traced compiled run: FallbackPrograms = %d, want 1", k.Stream.FallbackPrograms)
+		}
+	}
+	_ = tr
+}
+
+// TestShrinkPreservesPassing confirms Shrink is the identity on a
+// passing trace (it must never "shrink" a healthy case into noise).
+func TestShrinkPreservesPassing(t *testing.T) {
+	tr := Generate(7, coherence.MOESI)
+	got := Shrink(tr)
+	if got.Seed != tr.Seed || len(got.Threads) != len(tr.Threads) {
+		t.Fatal("Shrink modified a passing trace")
+	}
+}
+
+// FuzzDifferential is the randomized entry point: `go test -fuzz
+// FuzzDifferential ./internal/kernel/difftest` explores seeds and
+// protocol choices beyond the deterministic corpus.
+func FuzzDifferential(f *testing.F) {
+	f.Add(uint64(1), uint8(0))
+	f.Add(uint64(12345), uint8(1))
+	f.Add(uint64(0xdeadbeef), uint8(2))
+	f.Add(uint64(0x9E3779B97F4A7C15), uint8(3))
+	f.Add(uint64(271828), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, proto uint8) {
+		protos := coherence.Protocols()
+		tr := Generate(seed, protos[int(proto)%len(protos)])
+		if mm := Compare(tr); mm != nil {
+			small := Shrink(tr)
+			t.Fatalf("seed %#x proto %s: %v\nshrunk repro: %+v", seed, tr.Protocol, mm, small)
+		}
+	})
+}

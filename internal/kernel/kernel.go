@@ -58,7 +58,19 @@ type Kernel struct {
 	// FaultLatency is the cycle cost of a COW page fault (trap, copy,
 	// map). The default models a minor fault plus a 4 KB copy.
 	FaultLatency sim.Cycles
+
+	// Stream accumulates access-stream executor statistics (see stream.go).
+	Stream StreamStats
+
+	// mapEpoch counts virtual-to-physical mapping mutations across every
+	// process: mmap/munmap/exit, explicit sharing, COW breaks and KSM
+	// merges all bump it. Compiled access-stream programs cache their
+	// translations against it and re-resolve when it moves.
+	mapEpoch uint64
 }
+
+// MappingEpoch returns the kernel-wide mapping mutation counter.
+func (k *Kernel) MappingEpoch() uint64 { return k.mapEpoch }
 
 // New returns a kernel managing mach, with physical memory of totalFrames
 // (0 = unbounded).
@@ -129,6 +141,7 @@ func (p *Process) Mmap(npages int) (uint64, error) {
 		p.pages[basePage+uint64(i)] = &PTE{Frame: f, Writable: true}
 	}
 	p.brk += uint64(npages)
+	p.kern.mapEpoch++
 	return basePage * PageSize, nil
 }
 
@@ -156,6 +169,7 @@ func (p *Process) Munmap(va uint64, npages int) error {
 		p.kern.mem.Release(pte.Frame)
 		delete(p.pages, base+i)
 	}
+	p.kern.mapEpoch++
 	return nil
 }
 
@@ -167,6 +181,7 @@ func (p *Process) Exit() {
 		p.kern.mem.Release(pte.Frame)
 		delete(p.pages, vp)
 	}
+	p.kern.mapEpoch++
 }
 
 // Madvise marks npages starting at va as MERGEABLE, making them KSM
@@ -272,6 +287,7 @@ func (k *Kernel) MapSharedReadOnly(procs ...*Process) ([]uint64, error) {
 		p.pages[vpage] = &PTE{Frame: frame, Writable: false}
 		vas[i] = vpage * PageSize
 	}
+	k.mapEpoch++
 	return vas, nil
 }
 
@@ -284,6 +300,7 @@ func (p *Process) SharesFrameWith(va uint64, q *Process, qva uint64) bool {
 
 // cowBreak gives proc a private writable copy of the frame behind vpage.
 func (k *Kernel) cowBreak(proc *Process, vpage uint64, pte *PTE) error {
+	k.mapEpoch++
 	if pte.Frame.Refs() == 1 {
 		// Sole mapper: just restore write permission.
 		pte.Writable = true

@@ -70,6 +70,7 @@ func (s *KSM) Scan() int {
 		cand.pte.Writable = false
 		target.pte.Writable = false
 		target.pte.Frame.MergedByKSM = true
+		k.mapEpoch++
 		merged++
 	}
 	s.Merged += merged

@@ -1,0 +1,299 @@
+package kernel
+
+import (
+	"fmt"
+
+	"coherentleak/internal/machine"
+	"coherentleak/internal/sim"
+)
+
+// This file implements the compiled access-stream kernel: a trace
+// pre-pass flattens a thread's straight-line run of memory operations
+// into a Program — a preflattened op array with pre-drawn addresses and
+// cached virtual-to-physical translations — which Exec then drives in a
+// tight loop. Two execution strategies share the Program representation:
+//
+//   - interp (the reference): each operation is a kernel.Thread
+//     Load/Store/Flush followed by a separate think-time Advance,
+//     exactly as a hand-written thread body would issue it.
+//   - compiled: each operation performs its machine work untimed
+//     (machine.LoadTimed and friends) and fuses the service latency and
+//     think time into one scheduler Advance.
+//
+// The two are bit-identical by contract. The argument, op by op: the
+// machine work runs at the same thread-local time T in both modes
+// (before any advance), so the global machine-operation order — and
+// with it every RNG draw — is unchanged; the fused advance parks the
+// thread at the same final time T+latency+think; and the only
+// observation the fusion skips is the scheduler's stop-predicate
+// evaluation at the intermediate time T+latency. That evaluation is
+// provably redundant when the active drive declares its stop structure
+// (sim.World.RunUntilDeadline): a clock-free predicate cannot change
+// value between T and T+latency because no other thread — and no
+// machine work — runs in between, and the deadline comparison is
+// checked explicitly against the fuse horizon. Whenever the proof
+// obligation fails — an opaque RunUntil predicate, an attached trace
+// observer (whose events must arrive in cycle order), a stale
+// translation, a store that must take a COW fault — the executor
+// disengages to the interpreted path for the operation or the whole
+// program, and counts the fallback.
+
+// OpKind is the operation selector of one Program slot.
+type OpKind uint8
+
+const (
+	// OpLoad is a timed read.
+	OpLoad OpKind = iota
+	// OpStore is a timed write (COW faults are honoured by fallback).
+	OpStore
+	// OpFlush is a clflush of the address's line.
+	OpFlush
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpFlush:
+		return "flush"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// StreamOp is one preflattened operation: an access to VA followed by
+// Think cycles of non-memory work.
+type StreamOp struct {
+	Kind  OpKind
+	VA    uint64
+	Think sim.Cycles
+}
+
+// Program is a straight-line run of operations produced by a trace
+// pre-pass. It caches each operation's physical translation against the
+// kernel's mapping epoch, so steady-state execution performs no page
+// table walks; any mapping mutation anywhere in the kernel invalidates
+// the cache and the next Exec re-resolves it.
+type Program struct {
+	proc *Process
+	ops  []StreamOp
+
+	// pa[i] is op i's cached physical address; valid only when
+	// resolvedAt matches the kernel's mapping epoch and ok[i] is set.
+	// ok[i] is false for unmapped addresses and for stores through
+	// read-only (COW/KSM) mappings, which must take the faulting path.
+	pa         []uint64
+	ok         []bool
+	resolvedAt uint64
+	resolved   bool
+}
+
+// NewProgram returns an empty program for proc's address space with
+// capacity for n operations.
+func NewProgram(proc *Process, n int) *Program {
+	return &Program{
+		proc: proc,
+		ops:  make([]StreamOp, 0, n),
+		pa:   make([]uint64, 0, n),
+		ok:   make([]bool, 0, n),
+	}
+}
+
+// Reset empties the program for rebuilding, keeping its buffers.
+func (p *Program) Reset() {
+	p.ops = p.ops[:0]
+	p.pa = p.pa[:0]
+	p.ok = p.ok[:0]
+	p.resolved = false
+}
+
+// Len returns the operation count.
+func (p *Program) Len() int { return len(p.ops) }
+
+// Load appends a read of va followed by think cycles.
+func (p *Program) Load(va uint64, think sim.Cycles) { p.add(OpLoad, va, think) }
+
+// Store appends a write to va followed by think cycles.
+func (p *Program) Store(va uint64, think sim.Cycles) { p.add(OpStore, va, think) }
+
+// Flush appends a clflush of va followed by think cycles.
+func (p *Program) Flush(va uint64, think sim.Cycles) { p.add(OpFlush, va, think) }
+
+func (p *Program) add(k OpKind, va uint64, think sim.Cycles) {
+	p.ops = append(p.ops, StreamOp{Kind: k, VA: va, Think: think})
+	p.pa = append(p.pa, 0)
+	p.ok = append(p.ok, false)
+	p.resolved = false
+}
+
+// resolve (re)fills the translation cache for the current mapping epoch.
+func (p *Program) resolve(epoch uint64) {
+	for i := range p.ops {
+		op := &p.ops[i]
+		pte := p.proc.PTEOf(op.VA)
+		if pte == nil || (op.Kind == OpStore && !pte.Writable) {
+			p.ok[i] = false
+			continue
+		}
+		p.pa[i] = pte.Frame.Base() + op.VA%PageSize
+		p.ok[i] = true
+	}
+	p.resolvedAt = epoch
+	p.resolved = true
+}
+
+// StreamStats counts access-stream executor activity for one kernel.
+// All counters are cumulative across programs and threads.
+type StreamStats struct {
+	// CompiledOps counts operations executed on the fused fast path.
+	CompiledOps uint64
+	// InterpOps counts operations executed by the reference interpreter
+	// (the interp kernel, per-op fallbacks, and fallback programs).
+	InterpOps uint64
+	// UnfusedOps counts compiled-path operations that split their
+	// advance to mirror the interpreter exactly (deadline or cycle-limit
+	// crossings, zero-think tails).
+	UnfusedOps uint64
+	// FallbackPrograms counts Exec calls that disengaged the compiled
+	// path entirely: an opaque stop predicate or an attached tracer.
+	FallbackPrograms uint64
+	// FallbackOps counts compiled-path operations interpreted
+	// individually: stale translations that resolve to faulting stores
+	// or unmapped addresses.
+	FallbackOps uint64
+}
+
+// Exec runs the program to completion on t, honouring a pending stop
+// request before every operation exactly like a hand-written loop. It
+// returns the number of operations completed (less than p.Len only when
+// stopped). opsCounter, when non-nil, is incremented after each
+// operation's access completes and before its think advance — the
+// accounting point hand-written workloads use — so externally observed
+// counts match the interpreter even if the thread is killed mid-think.
+func (t *Thread) Exec(p *Program, opsCounter *uint64) int {
+	if t.kern.mach.Config().CompiledKernel() {
+		return t.execCompiled(p, opsCounter)
+	}
+	return t.execInterp(p, opsCounter, &t.kern.Stream.InterpOps)
+}
+
+// execInterp is the reference executor: per-op timed machine calls with
+// a separate think advance, byte-for-byte the schedule a hand-written
+// thread body produces.
+func (t *Thread) execInterp(p *Program, opsCounter *uint64, opCtr *uint64) int {
+	for i := range p.ops {
+		if t.Sim.StopRequested() {
+			return i
+		}
+		op := &p.ops[i]
+		switch op.Kind {
+		case OpLoad:
+			t.Load(op.VA)
+		case OpStore:
+			t.Store(op.VA)
+		case OpFlush:
+			t.Flush(op.VA)
+		}
+		*opCtr++
+		if opsCounter != nil {
+			*opsCounter++
+		}
+		if op.Think > 0 {
+			t.Sim.Advance(op.Think)
+		}
+	}
+	return len(p.ops)
+}
+
+// execCompiled is the fused fast path. Per operation it performs the
+// machine work untimed, then advances once by latency+think when the
+// fusion proof holds, or splits the advance (counted) when it does not.
+func (t *Thread) execCompiled(p *Program, opsCounter *uint64) int {
+	st := &t.kern.Stream
+	world := t.kern.world
+	mach := t.kern.mach
+	if _, fuseOK := world.FuseHorizon(); !fuseOK || mach.Traced() {
+		// Opaque stop predicate (could read the clock) or a tracer that
+		// needs cycle-ordered events: the whole program interprets.
+		st.FallbackPrograms++
+		return t.execInterp(p, opsCounter, &st.InterpOps)
+	}
+	if !p.resolved || p.resolvedAt != t.kern.mapEpoch {
+		p.resolve(t.kern.mapEpoch)
+	}
+	limit := world.CycleLimit()
+	sim := t.Sim
+	core := t.CoreID
+	for i := range p.ops {
+		if sim.StopRequested() {
+			return i
+		}
+		// Mappings move only while this thread is parked inside an
+		// Advance; re-check the epoch after every operation that could
+		// have yielded. A cheap equality test keeps the loop tight.
+		if p.resolvedAt != t.kern.mapEpoch {
+			p.resolve(t.kern.mapEpoch)
+		}
+		op := &p.ops[i]
+		if !p.ok[i] {
+			// Unmapped (will segfault identically) or a store that must
+			// take the COW faulting path: interpret this op.
+			st.FallbackOps++
+			st.InterpOps++
+			switch op.Kind {
+			case OpLoad:
+				t.Load(op.VA)
+			case OpStore:
+				t.Store(op.VA)
+			case OpFlush:
+				t.Flush(op.VA)
+			}
+			if opsCounter != nil {
+				*opsCounter++
+			}
+			if op.Think > 0 {
+				sim.Advance(op.Think)
+			}
+			continue
+		}
+		var a machine.Access
+		switch op.Kind {
+		case OpLoad:
+			a = mach.LoadTimed(sim, core, p.pa[i])
+		case OpStore:
+			a = mach.StoreTimed(sim, core, p.pa[i])
+		case OpFlush:
+			a = mach.FlushTimed(sim, core, p.pa[i])
+		}
+		now := sim.Now()
+		total := a.Latency + op.Think
+		// Fuse when the interpreter's intermediate scheduling point at
+		// now+latency is unobservable: below the drive's stop horizon
+		// and, with a cycle limit, not past it (the limit is checked at
+		// every advance, so a split mirrors the abort time exactly).
+		// The horizon is re-read per op: an advance can park the thread
+		// across the end of one drive and into another with a different
+		// stop structure.
+		deadline, fuseOK := world.FuseHorizon()
+		if fuseOK && op.Think > 0 && now+a.Latency <= deadline &&
+			(limit == 0 || now+total <= limit) {
+			st.CompiledOps++
+			if opsCounter != nil {
+				*opsCounter++
+			}
+			sim.Advance(total)
+			continue
+		}
+		st.UnfusedOps++
+		sim.Advance(a.Latency)
+		if opsCounter != nil {
+			*opsCounter++
+		}
+		if op.Think > 0 {
+			sim.Advance(op.Think)
+		}
+	}
+	return len(p.ops)
+}

@@ -22,8 +22,23 @@ type Access struct {
 // The thread's clock advances by the returned latency.
 func (m *Machine) Load(t *sim.Thread, g int, addr uint64) Access {
 	a := m.load(t, g, addr)
+	t.Advance(a.Latency)
 	if m.onAccess != nil {
-		m.emit(t, g, addr, "load", a)
+		m.emit(t.Now(), t, g, addr, "load", a)
+	}
+	return a
+}
+
+// LoadTimed is Load without the clock advance: it performs the full
+// access (state changes, RNG draws, stats) at the thread's current time
+// and returns the latency for the caller to account. It exists for the
+// compiled access-stream executor, which fuses the advance with the
+// op's think time; interleaving LoadTimed with other threads' work
+// before advancing breaks the determinism contract.
+func (m *Machine) LoadTimed(t *sim.Thread, g int, addr uint64) Access {
+	a := m.load(t, g, addr)
+	if m.onAccess != nil {
+		m.emit(t.Now()+a.Latency, t, g, addr, "load", a)
 	}
 	return a
 }
@@ -36,13 +51,13 @@ func (m *Machine) load(t *sim.Thread, g int, addr uint64) Access {
 
 	// Private-cache hits.
 	if l := core.L1.Lookup(line); l != nil {
-		return m.finish(t, line, PathL1, m.cfg.Latencies.L1Hit+walk)
+		return m.finish(line, PathL1, m.cfg.Latencies.L1Hit+walk)
 	}
 	if l := core.L2.Lookup(line); l != nil {
 		// Refill L1 in the same state; inclusion (L1 ⊆ L2) means the L1
 		// victim needs no write-back beyond its L2 copy.
-		m.fillL1(core, line, l.State)
-		return m.finish(t, line, PathL2, m.cfg.Latencies.L2Hit+walk)
+		m.fillL1Absent(core, line, l.State)
+		return m.finish(line, PathL2, m.cfg.Latencies.L2Hit+walk)
 	}
 
 	path, base := m.missPath(t.Now(), core, line)
@@ -57,7 +72,7 @@ func (m *Machine) load(t *sim.Thread, g int, addr uint64) Access {
 			base = worst
 		}
 	}
-	return m.finish(t, line, path, base+walk)
+	return m.finish(line, path, base+walk)
 }
 
 // prefetchNext issues the next-line prefetch: a background fill of
@@ -77,19 +92,15 @@ func (m *Machine) prefetchNext(now sim.Cycles, core *Core, line uint64) {
 
 // missPath services a load miss for core on line, running the coherence
 // transaction (state changes, directory updates, fills) and returning the
-// path taken plus its base latency including interconnect queuing.
+// path taken plus its base latency including interconnect queuing. The
+// static (queue-free) portion of each path comes from the memo table;
+// the ring/QPI/DRAM hops stay dynamic because their queuing delay — and
+// the RNG draws realizing it — depends on the traversal time.
 func (m *Machine) missPath(now sim.Cycles, core *Core, line uint64) (Path, sim.Cycles) {
 	lat := m.cfg.Latencies
 	sock := m.sockets[core.Socket]
 	m.lastUtil = sock.Ring.Utilization(now)
-	base := lat.MissBase + sock.Ring.Traverse(now) + sock.Ring.Traverse(now) + lat.LLCService
-	if m.cfg.SnoopBus {
-		// Broadcast protocols arbitrate for the bus before snooping;
-		// the census below is what the parallel snoop responses report
-		// rather than a directory lookup, but the outcome — and so the
-		// latency class — is the same.
-		base += lat.BusArbitration
-	}
+	base := m.memo.missCommon + sock.Ring.Traverse(now) + sock.Ring.Traverse(now)
 
 	switch sock.Dir.CensusOf(line) {
 	case coherence.CensusShared:
@@ -110,7 +121,7 @@ func (m *Machine) missPath(now sim.Cycles, core *Core, line uint64) (Path, sim.C
 		// possibly stale, so the request is forwarded to the owner —
 		// unless the LLC can prove its copy current (the E->M notification
 		// mitigation, or a protocol with no silent upgrades at all).
-		if m.llcTrust && !m.upgraded[line] && m.llcServiceable(sock, line) {
+		if m.llcTrust && !m.upgradedLine(line) && m.llcServiceable(sock, line) {
 			m.fillRequestor(core, line, false)
 			return PathLocalLLC, base
 		}
@@ -147,7 +158,7 @@ func (m *Machine) missPath(now sim.Cycles, core *Core, line uint64) (Path, sim.C
 			return PathRemoteForward, base + hop + lat.ForwardRemote
 		case coherence.CensusOwned:
 			hop := qpiLink.Traverse(now) + qpiLink.Traverse(now)
-			if m.llcTrust && !m.upgraded[line] && m.llcServiceable(remote, line) {
+			if m.llcTrust && !m.upgradedLine(line) && m.llcServiceable(remote, line) {
 				m.fillRequestor(core, line, false)
 				return PathRemoteLLC, base + hop
 			}
@@ -202,7 +213,7 @@ func (m *Machine) exclusiveMoveOut(sock *Socket, line uint64) {
 // sockets: any remote directory record, or a cleared snoop-filter entry
 // from an explicit flush.
 func (m *Machine) needsSnoop(line uint64) bool {
-	if m.flushEpochs[line] > 0 {
+	if lm := m.meta(line); lm != nil && lm.flushEpochs > 0 {
 		return true
 	}
 	for _, s := range m.sockets {
@@ -244,8 +255,11 @@ func (m *Machine) downgradeOwner(sock *Socket, line uint64) {
 		m.downgradeIn(sock, core.L2, line)
 	}
 	// The owner no longer holds the line exclusively; any recorded
-	// silent-upgrade mark is consumed by the write-back.
-	delete(m.upgraded, line)
+	// silent-upgrade mark is consumed by the write-back. The marks only
+	// exist when llcTrust tracks them.
+	if m.llcTrust {
+		m.clearUpgraded(line)
+	}
 }
 
 // downgradeIn applies the RemoteRead transition to pc's copy of line, if
@@ -255,7 +269,7 @@ func (m *Machine) downgradeIn(sock *Socket, pc *cache.Cache, line uint64) {
 	if !st.Valid() {
 		return
 	}
-	tr := m.spec.Apply(st, coherence.RemoteRead)
+	tr := m.memo.remoteRead[st]
 	pc.SetState(line, tr.Next)
 	if tr.Action == coherence.SupplyAndWriteBack && !m.cfg.ExclusiveLLC {
 		// Exclusive LLCs never take the downgrade copy; dirty data goes
@@ -289,7 +303,7 @@ func (m *Machine) fillRequestor(core *Core, line uint64, fromForward bool) {
 			m.demoteForwarders(line, st)
 		}
 	}
-	m.fillPrivate(core, line, st)
+	m.fillPrivateAbsent(core, line, st)
 	sock.Dir.AddSharer(line, core.Local)
 	if (m.cfg.InclusiveLLC || fromForward) && !m.cfg.ExclusiveLLC {
 		m.installLLC(sock, line)
@@ -320,6 +334,8 @@ func (m *Machine) demoteForwarders(line uint64, fwd coherence.State) {
 }
 
 // fillPrivate inserts line into core's L2 then L1, handling evictions.
+// It tolerates the line already being present (store's upgrade path fills
+// over data fetched moments earlier by missPath).
 func (m *Machine) fillPrivate(core *Core, line uint64, st coherence.State) {
 	if ev, ok := core.L2.Insert(line, st); ok {
 		m.handleL2Evict(core, ev)
@@ -327,10 +343,29 @@ func (m *Machine) fillPrivate(core *Core, line uint64, st coherence.State) {
 	m.fillL1(core, line, st)
 }
 
+// fillPrivateAbsent is fillPrivate for lines proven absent from both
+// private levels (every miss path establishes this before filling), which
+// lets the caches skip their re-fill scans.
+func (m *Machine) fillPrivateAbsent(core *Core, line uint64, st coherence.State) {
+	if ev, ok := core.L2.InsertAbsent(line, st); ok {
+		m.handleL2Evict(core, ev)
+	}
+	m.fillL1Absent(core, line, st)
+}
+
 // fillL1 inserts into L1 only; inclusion makes the victim's L2 copy the
 // surviving one, inheriting dirtiness.
 func (m *Machine) fillL1(core *Core, line uint64, st coherence.State) {
 	if ev, ok := core.L1.Insert(line, st); ok {
+		if ev.State.Dirty() {
+			core.L2.SetState(ev.Addr, ev.State)
+		}
+	}
+}
+
+// fillL1Absent is fillL1 for lines a preceding L1 lookup proved absent.
+func (m *Machine) fillL1Absent(core *Core, line uint64, st coherence.State) {
+	if ev, ok := core.L1.InsertAbsent(line, st); ok {
 		if ev.State.Dirty() {
 			core.L2.SetState(ev.Addr, ev.State)
 		}
@@ -346,14 +381,16 @@ func (m *Machine) handleL2Evict(core *Core, ev cache.Evicted) {
 		st = l1
 	}
 	sock := m.sockets[core.Socket]
-	if m.spec.Apply(st, coherence.Evict).Action == coherence.WriteBack || m.cfg.ExclusiveLLC {
+	if m.memo.evict[st].Action == coherence.WriteBack || m.cfg.ExclusiveLLC {
 		// Victims whose eviction transition writes back (dirty states)
 		// land in the LLC; an exclusive (victim) LLC additionally
 		// captures clean victims.
 		m.installLLC(sock, ev.Addr)
 	}
 	sock.Dir.RemoveSharer(ev.Addr, core.Local)
-	delete(m.upgraded, ev.Addr)
+	if m.llcTrust {
+		m.clearUpgraded(ev.Addr)
+	}
 }
 
 // installLLC places a clean copy of line in sock's LLC and marks the
@@ -380,9 +417,12 @@ func (m *Machine) handleLLCEvict(sock *Socket, ev cache.Evicted) {
 			sock.Dir.RemoveSharer(ev.Addr, local)
 			evictedPrivate = true
 		}
-		delete(m.upgraded, ev.Addr)
 		if evictedPrivate {
-			m.evictEpochs[ev.Addr]++
+			lm := m.metaMake(ev.Addr)
+			lm.upgraded = false
+			lm.evictEpochs++
+		} else if m.llcTrust {
+			m.clearUpgraded(ev.Addr)
 		}
 	}
 	sock.Dir.InvalidateLLC(ev.Addr)
@@ -391,8 +431,18 @@ func (m *Machine) handleLLCEvict(sock *Socket, ev cache.Evicted) {
 // Store performs a timed write to addr by core g on behalf of thread t.
 func (m *Machine) Store(t *sim.Thread, g int, addr uint64) Access {
 	a := m.store(t, g, addr)
+	t.Advance(a.Latency)
 	if m.onAccess != nil {
-		m.emit(t, g, addr, "store", a)
+		m.emit(t.Now(), t, g, addr, "store", a)
+	}
+	return a
+}
+
+// StoreTimed is Store without the clock advance; see LoadTimed.
+func (m *Machine) StoreTimed(t *sim.Thread, g int, addr uint64) Access {
+	a := m.store(t, g, addr)
+	if m.onAccess != nil {
+		m.emit(t.Now()+a.Latency, t, g, addr, "store", a)
 	}
 	return a
 }
@@ -406,20 +456,25 @@ func (m *Machine) store(t *sim.Thread, g int, addr uint64) Access {
 	sock := m.sockets[core.Socket]
 
 	st := m.ProbeState(g, line)
-	tr := m.spec.Apply(st, coherence.LocalWrite)
+	tr := m.memo.localWrite[st]
 	if tr.Latency == coherence.LatStoreHit {
 		if tr.Next != st {
 			// Silent upgrade (E->M): no bus traffic, which is why the LLC
 			// must conservatively forward census==1 misses. The mitigation
-			// makes this upgrade visible.
+			// makes this upgrade visible. The mark is only ever read when
+			// llcTrust is on (both upgradedLine call sites are guarded by
+			// it), so machines without it skip the write-only bookkeeping
+			// and keep the line-metadata table small.
 			core.L1.SetState(line, tr.Next)
 			core.L2.SetState(line, tr.Next)
-			m.upgraded[line] = true
+			if m.llcTrust {
+				m.metaMake(line).upgraded = true
+			}
 			if m.cfg.Mitigations.LLCNotifiedOfEToM {
 				sock.Dir.SetOwnerDirty(line)
 			}
 		}
-		return m.finish(t, line, PathL1, lat.StoreHit+walk)
+		return m.finish(line, PathL1, lat.StoreHit+walk)
 	}
 
 	// The store must leave the core: an RFO (fetch if missing, then settle
@@ -429,7 +484,9 @@ func (m *Machine) store(t *sim.Thread, g int, addr uint64) Access {
 	switch tr.Latency {
 	case coherence.LatUpgrade, coherence.LatWriteThrough:
 		// Data already present (upgrade from S/F/O) or not wanted locally
-		// (no-allocate write-through): pay the LLC round only.
+		// (no-allocate write-through): pay the LLC round only, with no
+		// bus arbitration even in snoop mode (the upgrade round is not a
+		// full miss broadcast).
 		path, base = PathLocalLLC, lat.MissBase+sock.Ring.Traverse(t.Now())+sock.Ring.Traverse(t.Now())+lat.LLCService
 	default:
 		path, base = m.missPath(t.Now(), core, line)
@@ -443,7 +500,9 @@ func (m *Machine) store(t *sim.Thread, g int, addr uint64) Access {
 		m.fillPrivate(core, line, next)
 		sock.Dir.AddSharer(line, core.Local)
 		if next.Dirty() {
-			m.upgraded[line] = true
+			if m.llcTrust {
+				m.metaMake(line).upgraded = true
+			}
 			if !othersRemain {
 				sock.Dir.SetOwnerDirty(line)
 			}
@@ -471,7 +530,7 @@ func (m *Machine) store(t *sim.Thread, g int, addr uint64) Access {
 			s.Dir.InvalidateLLC(line)
 		}
 	}
-	return m.finish(t, line, path, base+lat.RFOOverhead+walk)
+	return m.finish(line, path, base+lat.RFOOverhead+walk)
 }
 
 // remoteWriteOthers applies the RemoteWrite transition to every copy of
@@ -493,7 +552,7 @@ func (m *Machine) remoteWriteOthers(requestor *Core, line uint64) bool {
 				if !st.Valid() {
 					continue
 				}
-				if next := m.spec.Apply(st, coherence.RemoteWrite).Next; next.Valid() {
+				if next := m.memo.remoteWrite[st].Next; next.Valid() {
 					pc.SetState(line, next)
 					survived = true
 				} else {
@@ -516,8 +575,18 @@ func (m *Machine) remoteWriteOthers(requestor *Core, line uint64) bool {
 // spy flushes read-only shared pages).
 func (m *Machine) Flush(t *sim.Thread, g int, addr uint64) Access {
 	a := m.flushLine(t, g, addr)
+	t.Advance(a.Latency)
 	if m.onAccess != nil {
-		m.emit(t, g, addr, "flush", a)
+		m.emit(t.Now(), t, g, addr, "flush", a)
+	}
+	return a
+}
+
+// FlushTimed is Flush without the clock advance; see LoadTimed.
+func (m *Machine) FlushTimed(t *sim.Thread, g int, addr uint64) Access {
+	a := m.flushLine(t, g, addr)
+	if m.onAccess != nil {
+		m.emit(t.Now()+a.Latency, t, g, addr, "flush", a)
 	}
 	return a
 }
@@ -526,8 +595,9 @@ func (m *Machine) flushLine(t *sim.Thread, g int, addr uint64) Access {
 	line := cache.LineAddr(addr)
 	lat := m.cfg.Latencies
 	m.Stats.Flushes++
-	m.flushEpochs[line]++
-	m.recordFlushPressure(line, t.Now())
+	lm := m.metaMake(line)
+	lm.flushEpochs++
+	m.recordFlushPressure(lm, t.Now())
 	dirty := false
 	for _, s := range m.sockets {
 		for mask := s.Dir.SharerMask(line); mask != 0; mask &= mask - 1 {
@@ -535,7 +605,7 @@ func (m *Machine) flushLine(t *sim.Thread, g int, addr uint64) Access {
 			core := s.Cores[local]
 			for _, pc := range []*cache.Cache{core.L1, core.L2} {
 				st := pc.Invalidate(line)
-				if st.Valid() && m.spec.Apply(st, coherence.FlushOp).Action == coherence.WriteBack {
+				if st.Valid() && m.memo.flush[st].Action == coherence.WriteBack {
 					dirty = true
 				}
 			}
@@ -544,21 +614,22 @@ func (m *Machine) flushLine(t *sim.Thread, g int, addr uint64) Access {
 		s.LLC.Invalidate(line)
 		s.Dir.Clear(line)
 	}
-	delete(m.upgraded, line)
+	lm.upgraded = false
 	base := lat.FlushBase
 	if dirty {
 		base += lat.FlushDirty
 	}
-	return m.finishRecorded(t, line, PathDRAM, base, false)
+	return m.finishRecorded(line, PathDRAM, base, false)
 }
 
-// recordFlushPressure updates the probe-pressure estimate for line from
-// the interval since its previous flush: pressure = (Tref/interval)^2,
+// recordFlushPressure updates the line's probe-pressure estimate from
+// the interval since its previous flush: pressure = (Tref/interval)^4,
 // EWMA-smoothed. Short intervals (fast probing) build pressure; idle
 // lines decay toward zero.
-func (m *Machine) recordFlushPressure(line uint64, now sim.Cycles) {
-	last, seen := m.lastFlush[line]
-	m.lastFlush[line] = now
+func (m *Machine) recordFlushPressure(lm *lineMeta, now sim.Cycles) {
+	last, seen := lm.lastFlush, lm.hasFlush
+	lm.lastFlush = now
+	lm.hasFlush = true
 	if !seen {
 		return
 	}
@@ -568,7 +639,7 @@ func (m *Machine) recordFlushPressure(line uint64, now sim.Cycles) {
 	if instant > 6 {
 		instant = 6 // saturation: queues are finite
 	}
-	m.pressure[line] = 0.5*m.pressure[line] + 0.5*instant
+	lm.pressure = 0.5*lm.pressure + 0.5*instant
 }
 
 // pressureJitterWidth returns the extra triangular-jitter half-width for
@@ -576,18 +647,13 @@ func (m *Machine) recordFlushPressure(line uint64, now sim.Cycles) {
 // queues, so pressure widens them more — the asymmetry §VIII-C observes
 // (remote E-state latencies vary most under load).
 func (m *Machine) pressureJitterWidth(line uint64, p Path) int64 {
-	jc := m.cfg.Latencies.ProbePressureJitter
+	jc := m.memo.jc
 	if jc <= 0 || p <= PathL2 {
 		return 0
 	}
-	factor := 1.0
-	switch p {
-	case PathRemoteLLC:
-		factor = 1.3
-	case PathRemoteForward:
-		factor = 1.6
-	case PathDRAM:
-		factor = 1.8
+	lm := m.meta(line)
+	if lm == nil {
+		return 0
 	}
 	// Interconnect contention multiplies the probe's self-pressure:
 	// deep queues turn the high-frequency probe's bursts into much
@@ -595,17 +661,17 @@ func (m *Machine) pressureJitterWidth(line uint64, p Path) int64 {
 	// workloads degrade fast channels while leaving slow (rate-adapted)
 	// ones nearly untouched (§VIII-C vs. Figure 10).
 	contention := 1 + 6*m.lastUtil
-	return int64(jc * m.pressure[line] * factor * contention)
+	return int64(jc * lm.pressure * m.memo.factor[p] * contention)
 }
 
-// finish applies jitter (base plus probe pressure), advances the thread
-// and records the service path. Flushes pass record=false so ByPath
-// reflects loads and stores only.
-func (m *Machine) finish(t *sim.Thread, line uint64, p Path, base sim.Cycles) Access {
-	return m.finishRecorded(t, line, p, base, true)
+// finish applies jitter (base plus probe pressure) and records the
+// service path; the caller advances the thread. Flushes pass
+// record=false so ByPath reflects loads and stores only.
+func (m *Machine) finish(line uint64, p Path, base sim.Cycles) Access {
+	return m.finishRecorded(line, p, base, true)
 }
 
-func (m *Machine) finishRecorded(t *sim.Thread, line uint64, p Path, base sim.Cycles, record bool) Access {
+func (m *Machine) finishRecorded(line uint64, p Path, base sim.Cycles, record bool) Access {
 	total := int64(base) + m.rng.Jitter(m.cfg.Latencies.Jitter)
 	if w := m.pressureJitterWidth(line, p); w > 0 {
 		total += m.rng.Jitter(w)
@@ -617,7 +683,6 @@ func (m *Machine) finishRecorded(t *sim.Thread, line uint64, p Path, base sim.Cy
 	if record {
 		m.Stats.ByPath[p]++
 	}
-	t.Advance(a.Latency)
 	return a
 }
 
@@ -637,13 +702,14 @@ func (s *MachineStats) String() string {
 
 // emit delivers one completed operation to the observer hook. Callers
 // guard on m.onAccess != nil so untraced runs skip event assembly and the
-// call entirely.
-func (m *Machine) emit(t *sim.Thread, g int, addr uint64, op string, a Access) {
+// call entirely; at is the operation's completion time (identical whether
+// the thread clock was advanced by the machine or by a batching caller).
+func (m *Machine) emit(at sim.Cycles, t *sim.Thread, g int, addr uint64, op string, a Access) {
 	if m.onAccess == nil {
 		return
 	}
 	m.onAccess(AccessEvent{
-		Cycle:   t.Now(),
+		Cycle:   at,
 		Thread:  t.ID(),
 		Core:    g,
 		Line:    cache.LineAddr(addr),

@@ -157,7 +157,26 @@ type Config struct {
 	Latencies Latencies
 	// Mitigations are defensive options, normally all off.
 	Mitigations Mitigations
+	// Kernel selects the sim-kernel execution strategy for access-stream
+	// programs: "interp" (or empty, the reference interpreter) runs one
+	// timed operation per scheduler step; "compiled" batches straight-
+	// line runs through the preflattened fast path (see
+	// kernel.ExecMode). The two are bit-identical by contract — the
+	// differential harness in internal/kernel/difftest enforces it — so
+	// the field is excluded from the JSON config digest and cached cell
+	// outputs are shared between kernels.
+	Kernel string `json:"-"`
 }
+
+// Kernel mode names accepted by Config.Kernel.
+const (
+	KernelInterp   = "interp"
+	KernelCompiled = "compiled"
+)
+
+// CompiledKernel reports whether the compiled access-stream kernel is
+// selected.
+func (c Config) CompiledKernel() bool { return c.Kernel == KernelCompiled }
 
 // DefaultConfig returns the paper's testbed: a 2-socket, 6-core-per-socket
 // Xeon X5650 with 32 KB L1, 256 KB L2, 12 MB inclusive LLC, MESIF, 2.67 GHz.
@@ -210,6 +229,11 @@ func (c Config) Validate() error {
 	}
 	if c.InclusiveLLC && c.ExclusiveLLC {
 		return fmt.Errorf("machine: LLC cannot be both inclusive and exclusive")
+	}
+	switch c.Kernel {
+	case "", KernelInterp, KernelCompiled:
+	default:
+		return fmt.Errorf("machine: unknown kernel %q (want %q or %q)", c.Kernel, KernelInterp, KernelCompiled)
 	}
 	return nil
 }

@@ -67,28 +67,25 @@ type Machine struct {
 	// Stats tallies service paths; the experiments read it.
 	Stats MachineStats
 
-	// upgraded tracks lines whose sole owner performed an E->M upgrade,
-	// consulted only when Mitigations.LLCNotifiedOfEToM is on.
-	upgraded map[uint64]bool
+	// lines holds the per-line bookkeeping that used to live in five
+	// separate maps (silent-upgrade marks, flush/evict epochs, probe-
+	// pressure state): one lookup per operation instead of up to five.
+	// Entries are created on first flush/upgrade/eviction and never
+	// removed — the population is bounded by the lines ever probed.
+	// The storage is an inline open-addressing table (metaSlots) plus a
+	// move-to-front lookaside; see meta/metaMake. A *lineMeta is valid
+	// only until the next metaMake (growth moves the slots array), so
+	// callers must not hold one across a call that can create entries.
+	metaSlots []metaSlot
+	metaMask  uint64
+	metaUsed  int
+	lookLine  [metaLookN]uint64
+	lookMeta  [metaLookN]*lineMeta
 
-	// flushEpochs counts flushes per line. A cache owner can observe the
-	// same fact physically (its next load misses), so exposing the
-	// counter gives attack code an exact, cheap stand-in for "my reload
-	// missed, therefore the spy flushed again".
-	flushEpochs map[uint64]uint64
-
-	// lastFlush and pressure implement the probe-pressure jitter model:
-	// flushing the same line at short intervals (fast flush+reload
-	// probing) widens the latency spread of subsequent misses on it.
-	// This is the simulator's calibrated stand-in for the pipeline and
-	// queue pressure that degrades raw-bit accuracy at high sampling
-	// rates on real hardware (§VIII-B, Figure 8). See DESIGN.md.
-	lastFlush map[uint64]sim.Cycles
-	pressure  map[uint64]float64
-
-	// evictEpochs counts inclusive-LLC back-invalidations per line (the
-	// eviction analogue of flushEpochs).
-	evictEpochs map[uint64]uint64
+	// memo is the service-path memo table: protocol transitions, static
+	// path latencies and jitter factors precomputed from (cfg, spec).
+	// See memo.go; InvalidateMemo rebuilds it.
+	memo *serviceMemo
 
 	// lastUtil is the highest link utilization seen along the most
 	// recent miss's service path; it feeds the contention multiplier of
@@ -127,6 +124,156 @@ type AccessEvent struct {
 // observer hook.
 func (m *Machine) SetAccessObserver(fn func(AccessEvent)) { m.onAccess = fn }
 
+// Traced reports whether an access observer is attached. Batching
+// executors consult it: the observer contract delivers events in
+// non-decreasing cycle order, which the fused fast path cannot
+// guarantee, so traced runs take the per-operation path.
+func (m *Machine) Traced() bool { return m.onAccess != nil }
+
+// lineMeta consolidates the per-line bookkeeping of the probe-pressure
+// and mitigation models.
+type lineMeta struct {
+	// upgraded marks lines whose sole owner performed a silent E->M
+	// upgrade, consulted only when Mitigations.LLCNotifiedOfEToM is on.
+	upgraded bool
+	// hasFlush records that lastFlush holds a real timestamp.
+	hasFlush bool
+	// flushEpochs counts explicit flushes of the line. A cache owner can
+	// observe the same fact physically (its next load misses), so
+	// exposing the counter gives attack code an exact, cheap stand-in
+	// for "my reload missed, therefore the spy flushed again".
+	flushEpochs uint64
+	// evictEpochs counts inclusive-LLC back-invalidations (the eviction
+	// analogue of flushEpochs).
+	evictEpochs uint64
+	// lastFlush and pressure implement the probe-pressure jitter model:
+	// flushing the same line at short intervals (fast flush+reload
+	// probing) widens the latency spread of subsequent misses on it.
+	// This is the simulator's calibrated stand-in for the pipeline and
+	// queue pressure that degrades raw-bit accuracy at high sampling
+	// rates on real hardware (§VIII-B, Figure 8). See DESIGN.md.
+	lastFlush sim.Cycles
+	pressure  float64
+}
+
+// metaLookN is the lookaside depth over the line-metadata table; four
+// slots keep the accessed line resident across interleaved eviction-
+// victim bookkeeping (see the analogous directory lookaside).
+const metaLookN = 4
+
+// metaSlot is one open-addressing table slot with the record inline.
+type metaSlot struct {
+	line uint64
+	used bool
+	m    lineMeta
+}
+
+// metaHash is the Fibonacci multiplicative hash over line addresses,
+// with the high (entropy-rich) half folded into the low bits the table
+// indexes with.
+func metaHash(line uint64) uint64 {
+	h := line * 0x9E3779B97F4A7C15
+	return h ^ h>>32
+}
+
+// meta returns line's bookkeeping record, or nil when the line has none.
+// The pointer is valid only until the next metaMake.
+func (m *Machine) meta(line uint64) *lineMeta {
+	if m.lookMeta[0] != nil && m.lookLine[0] == line {
+		return m.lookMeta[0]
+	}
+	for i := 1; i < metaLookN; i++ {
+		if m.lookMeta[i] != nil && m.lookLine[i] == line {
+			lm := m.lookMeta[i]
+			copy(m.lookLine[1:i+1], m.lookLine[:i])
+			copy(m.lookMeta[1:i+1], m.lookMeta[:i])
+			m.lookLine[0], m.lookMeta[0] = line, lm
+			return lm
+		}
+	}
+	if m.metaUsed == 0 {
+		return nil
+	}
+	for h := metaHash(line); ; h++ {
+		s := &m.metaSlots[h&m.metaMask]
+		if !s.used {
+			return nil
+		}
+		if s.line == line {
+			m.lookPush(line, &s.m)
+			return &s.m
+		}
+	}
+}
+
+// lookPush records line at the front of the metadata lookaside.
+func (m *Machine) lookPush(line uint64, lm *lineMeta) {
+	copy(m.lookLine[1:], m.lookLine[:metaLookN-1])
+	copy(m.lookMeta[1:], m.lookMeta[:metaLookN-1])
+	m.lookLine[0], m.lookMeta[0] = line, lm
+}
+
+// metaMake returns line's bookkeeping record, creating it if needed.
+// Creation can grow the table, which invalidates previously returned
+// *lineMeta pointers — callers must not hold one across this call.
+func (m *Machine) metaMake(line uint64) *lineMeta {
+	if lm := m.meta(line); lm != nil {
+		return lm
+	}
+	if len(m.metaSlots) == 0 || (m.metaUsed+1)*4 > len(m.metaSlots)*3 {
+		m.metaGrow()
+	}
+	for h := metaHash(line); ; h++ {
+		s := &m.metaSlots[h&m.metaMask]
+		if !s.used {
+			*s = metaSlot{line: line, used: true}
+			m.metaUsed++
+			m.lookPush(line, &s.m)
+			return &s.m
+		}
+	}
+}
+
+// metaGrow doubles the metadata table (minimum 64 slots).
+func (m *Machine) metaGrow() {
+	n := len(m.metaSlots) * 2
+	if n < 64 {
+		n = 64
+	}
+	old := m.metaSlots
+	m.metaSlots = make([]metaSlot, n)
+	m.metaMask = uint64(n - 1)
+	for i := 0; i < metaLookN; i++ {
+		m.lookMeta[i] = nil
+	}
+	for i := range old {
+		s := &old[i]
+		if !s.used {
+			continue
+		}
+		for h := metaHash(s.line); ; h++ {
+			t := &m.metaSlots[h&m.metaMask]
+			if !t.used {
+				*t = *s
+				break
+			}
+		}
+	}
+}
+
+// upgradedLine reports whether line carries a live silent-upgrade mark.
+func (m *Machine) upgradedLine(line uint64) bool {
+	lm := m.meta(line)
+	return lm != nil && lm.upgraded
+}
+
+// clearUpgraded consumes line's silent-upgrade mark, if any.
+func (m *Machine) clearUpgraded(line uint64) {
+	if lm := m.meta(line); lm != nil {
+		lm.upgraded = false
+	}
+}
+
 // pressureRefCycles normalizes flush intervals in the probe-pressure
 // model: an interval of this many cycles yields unit pressure.
 const pressureRefCycles = 1000.0
@@ -151,17 +298,13 @@ func New(world *sim.World, cfg Config) *Machine {
 	rng := world.Rand().Split()
 	spec := coherence.MustSpec(cfg.Protocol)
 	m := &Machine{
-		cfg:         cfg,
-		world:       world,
-		rng:         rng,
-		spec:        spec,
-		llcTrust:    cfg.Mitigations.LLCNotifiedOfEToM || !spec.SilentUpgrades(),
-		upgraded:    make(map[uint64]bool),
-		flushEpochs: make(map[uint64]uint64),
-		lastFlush:   make(map[uint64]sim.Cycles),
-		pressure:    make(map[uint64]float64),
-		evictEpochs: make(map[uint64]uint64),
+		cfg:      cfg,
+		world:    world,
+		rng:      rng,
+		spec:     spec,
+		llcTrust: cfg.Mitigations.LLCNotifiedOfEToM || !spec.SilentUpgrades(),
 	}
+	m.InvalidateMemo()
 	lat := cfg.Latencies
 	for s := 0; s < cfg.Sockets; s++ {
 		// In snoop-bus mode one broadcast bus replaces the ring: same
@@ -326,7 +469,10 @@ func (m *Machine) ProbeState(g int, addr uint64) coherence.State {
 // covert channel's trojan uses it to count spy periods (each spy period
 // begins with exactly one flush of the shared block).
 func (m *Machine) FlushEpoch(addr uint64) uint64 {
-	return m.flushEpochs[cache.LineAddr(addr)]
+	if lm := m.meta(cache.LineAddr(addr)); lm != nil {
+		return lm.flushEpochs
+	}
+	return 0
 }
 
 // InvalidationEpoch counts every event that removed addr's line from the
@@ -336,8 +482,10 @@ func (m *Machine) FlushEpoch(addr uint64) uint64 {
 // executes clflush; a real trojan observes the same events as misses on
 // its next reload.
 func (m *Machine) InvalidationEpoch(addr uint64) uint64 {
-	line := cache.LineAddr(addr)
-	return m.flushEpochs[line] + m.evictEpochs[line]
+	if lm := m.meta(cache.LineAddr(addr)); lm != nil {
+		return lm.flushEpochs + lm.evictEpochs
+	}
+	return 0
 }
 
 // LLCHasClean reports whether socket s's LLC holds a clean serviceable

@@ -1,0 +1,216 @@
+package machine
+
+import (
+	"coherentleak/internal/coherence"
+	"coherentleak/internal/sim"
+)
+
+// NumPressureBuckets is the quantization of the probe-pressure estimate
+// used to key the service-path memo table. Pressure saturates at 6.0
+// (see recordFlushPressure), so bucket i covers [i, i+1) and the last
+// bucket absorbs the saturation point.
+const NumPressureBuckets = 7
+
+// maxContention is the largest value the contention multiplier
+// (1 + 6*utilization) can take: link utilization is capped at 0.95.
+const maxContention = 1 + 6*0.95
+
+// PressureBucket quantizes a pressure estimate into its memo bucket.
+func PressureBucket(p float64) int {
+	b := int(p)
+	if b < 0 {
+		b = 0
+	}
+	if b >= NumPressureBuckets {
+		b = NumPressureBuckets - 1
+	}
+	return b
+}
+
+// MemoKey addresses one entry of the service-path memo table.
+type MemoKey struct {
+	// State is the coherence state of the copy the protocol consults.
+	State coherence.State
+	// Loc is the service path (location) class.
+	Loc Path
+	// Bucket is the quantized probe-pressure level of the line.
+	Bucket int
+}
+
+// MemoEntry is one memoized service-path record: the protocol
+// transitions a copy in State undergoes, the queue-free static latency
+// of the Loc service path, and the pressure-jitter scaling of the
+// (Loc, Bucket) combination. Everything here is a pure function of the
+// machine configuration and protocol spec; dynamic terms (interconnect
+// queuing, the continuous pressure estimate, RNG jitter) are composed
+// on top at run time so results stay bit-identical to the uncached path.
+type MemoEntry struct {
+	// LocalWrite .. Flush are spec.Apply(State, event) for each event.
+	LocalWrite  coherence.Transition
+	RemoteRead  coherence.Transition
+	RemoteWrite coherence.Transition
+	Evict       coherence.Transition
+	Flush       coherence.Transition
+	// StaticBase is the queue-free end-to-end service latency of Loc:
+	// every dynamic Traverse contributes its BaseLatency here and its
+	// queuing delay at run time.
+	StaticBase sim.Cycles
+	// JitterFactor is the path-dependent widening factor of the probe-
+	// pressure jitter model (longer paths cross more queues).
+	JitterFactor float64
+	// PressureLow and PressureHigh bound the bucket's pressure range.
+	PressureLow, PressureHigh float64
+	// MaxJitterWidth is the largest pressure-jitter half-width any
+	// access in this bucket can be charged (at saturated contention).
+	MaxJitterWidth int64
+}
+
+// serviceMemo is the flattened hot view of the memo table: the per-state
+// transition rows and per-path static latencies the access hot path
+// indexes directly, derived once from (Config, ProtocolSpec) and rebuilt
+// on invalidation. MemoLookup re-expands it into (state, location,
+// pressure-bucket) keyed entries for verification.
+type serviceMemo struct {
+	version uint64
+
+	legal       [coherence.NumStates]bool
+	localWrite  [coherence.NumStates]coherence.Transition
+	remoteRead  [coherence.NumStates]coherence.Transition
+	remoteWrite [coherence.NumStates]coherence.Transition
+	evict       [coherence.NumStates]coherence.Transition
+	flush       [coherence.NumStates]coherence.Transition
+
+	// static[p] is the queue-free service latency of path p.
+	static [pathCount]sim.Cycles
+	// missCommon is the static portion shared by every off-core miss:
+	// MissBase + LLCService (+ BusArbitration in snoop mode). The ring
+	// hops are dynamic (Traverse) and excluded.
+	missCommon sim.Cycles
+	// factor[p] is the pressure-jitter path factor.
+	factor [pathCount]float64
+	// jc caches Latencies.ProbePressureJitter.
+	jc float64
+}
+
+// pathJitterFactor returns the §VIII-C widening factor for path p —
+// the single source of truth for both the memo and the fresh-path
+// property check.
+func pathJitterFactor(p Path) float64 {
+	switch p {
+	case PathRemoteLLC:
+		return 1.3
+	case PathRemoteForward:
+		return 1.6
+	case PathDRAM:
+		return 1.8
+	default:
+		return 1.0
+	}
+}
+
+// staticPathLatency composes the queue-free service latency of path p
+// from the configured component times. Snoop-filter hops for DRAM
+// fetches are dynamic and excluded.
+func staticPathLatency(cfg Config, p Path) sim.Cycles {
+	lat := cfg.Latencies
+	miss := lat.MissBase + 2*lat.Ring + lat.LLCService
+	if cfg.SnoopBus {
+		miss += lat.BusArbitration
+	}
+	switch p {
+	case PathL1:
+		return lat.L1Hit
+	case PathL2:
+		return lat.L2Hit
+	case PathLocalLLC:
+		return miss
+	case PathLocalForward:
+		return miss + lat.ForwardLocal
+	case PathRemoteLLC:
+		return miss + 2*lat.QPI
+	case PathRemoteForward:
+		return miss + 2*lat.QPI + lat.ForwardRemote
+	case PathDRAM:
+		return miss + lat.DRAMService
+	}
+	return 0
+}
+
+// buildMemo derives the memo from cfg and spec.
+func buildMemo(cfg Config, spec *coherence.ProtocolSpec) *serviceMemo {
+	m := &serviceMemo{jc: cfg.Latencies.ProbePressureJitter}
+	for _, st := range spec.States() {
+		m.legal[st] = true
+		m.localWrite[st] = spec.Apply(st, coherence.LocalWrite)
+		m.remoteRead[st] = spec.Apply(st, coherence.RemoteRead)
+		m.remoteWrite[st] = spec.Apply(st, coherence.RemoteWrite)
+		m.evict[st] = spec.Apply(st, coherence.Evict)
+		m.flush[st] = spec.Apply(st, coherence.FlushOp)
+	}
+	for p := 0; p < pathCount; p++ {
+		m.static[p] = staticPathLatency(cfg, Path(p))
+		m.factor[p] = pathJitterFactor(Path(p))
+	}
+	m.missCommon = cfg.Latencies.MissBase + cfg.Latencies.LLCService
+	if cfg.SnoopBus {
+		m.missCommon += cfg.Latencies.BusArbitration
+	}
+	return m
+}
+
+// InvalidateMemo discards and rebuilds the service-path memo from the
+// machine's current configuration and protocol spec. Any change to
+// either must route through here (construction does so implicitly);
+// the version counter lets callers assert the rebuild happened.
+func (m *Machine) InvalidateMemo() {
+	v := uint64(1)
+	if m.memo != nil {
+		v = m.memo.version + 1
+	}
+	m.memo = buildMemo(m.cfg, m.spec)
+	m.memo.version = v
+}
+
+// MemoVersion returns the memo table's rebuild counter (1 after
+// construction).
+func (m *Machine) MemoVersion() uint64 { return m.memo.version }
+
+// MemoKeys enumerates every (legal state, location, pressure bucket)
+// key of the memo table.
+func (m *Machine) MemoKeys() []MemoKey {
+	var out []MemoKey
+	for _, st := range m.spec.States() {
+		for p := 0; p < pathCount; p++ {
+			for b := 0; b < NumPressureBuckets; b++ {
+				out = append(out, MemoKey{State: st, Loc: Path(p), Bucket: b})
+			}
+		}
+	}
+	return out
+}
+
+// MemoLookup returns the memoized service record for k, or ok=false when
+// k names a state the protocol does not define or an out-of-range
+// location/bucket.
+func (m *Machine) MemoLookup(k MemoKey) (MemoEntry, bool) {
+	if int(k.State) >= coherence.NumStates || !m.memo.legal[k.State] ||
+		int(k.Loc) >= pathCount || k.Bucket < 0 || k.Bucket >= NumPressureBuckets {
+		return MemoEntry{}, false
+	}
+	st := k.State
+	e := MemoEntry{
+		LocalWrite:   m.memo.localWrite[st],
+		RemoteRead:   m.memo.remoteRead[st],
+		RemoteWrite:  m.memo.remoteWrite[st],
+		Evict:        m.memo.evict[st],
+		Flush:        m.memo.flush[st],
+		StaticBase:   m.memo.static[k.Loc],
+		JitterFactor: m.memo.factor[k.Loc],
+		PressureLow:  float64(k.Bucket),
+		PressureHigh: float64(k.Bucket + 1),
+	}
+	if k.Loc > PathL2 && m.memo.jc > 0 {
+		e.MaxJitterWidth = int64(m.memo.jc * e.PressureHigh * e.JitterFactor * maxContention)
+	}
+	return e, true
+}

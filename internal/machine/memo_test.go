@@ -1,0 +1,154 @@
+package machine
+
+import (
+	"testing"
+
+	"coherentleak/internal/coherence"
+	"coherentleak/internal/sim"
+)
+
+// TestMemoMatchesFreshApply is the satellite property test: for every
+// registered protocol and every (state, location, pressure-bucket) key
+// the memo exposes, the memoized transitions must equal a fresh
+// spec.Apply and the static/jitter components must equal an independent
+// recomputation from the raw config. Runs once per protocol for both
+// directory and snoop-bus interconnects (the two static-latency shapes).
+func TestMemoMatchesFreshApply(t *testing.T) {
+	for _, proto := range coherence.Protocols() {
+		for _, snoop := range []bool{false, true} {
+			cfg := SmallConfig()
+			cfg.Protocol = proto
+			cfg.SnoopBus = snoop
+			w := sim.NewWorld(sim.Config{Seed: 1})
+			m := New(w, cfg)
+			spec, err := coherence.SpecFor(proto)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			keys := m.MemoKeys()
+			want := len(spec.States()) * pathCount * NumPressureBuckets
+			if len(keys) != want {
+				t.Fatalf("%s snoop=%v: %d memo keys, want %d", proto, snoop, len(keys), want)
+			}
+			seen := make(map[MemoKey]bool, len(keys))
+			for _, k := range keys {
+				if seen[k] {
+					t.Fatalf("%s: duplicate memo key %+v", proto, k)
+				}
+				seen[k] = true
+				e, ok := m.MemoLookup(k)
+				if !ok {
+					t.Fatalf("%s: MemoLookup(%+v) not ok", proto, k)
+				}
+				for _, tr := range []struct {
+					name string
+					got  coherence.Transition
+					ev   coherence.Event
+				}{
+					{"LocalWrite", e.LocalWrite, coherence.LocalWrite},
+					{"RemoteRead", e.RemoteRead, coherence.RemoteRead},
+					{"RemoteWrite", e.RemoteWrite, coherence.RemoteWrite},
+					{"Evict", e.Evict, coherence.Evict},
+					{"Flush", e.Flush, coherence.FlushOp},
+				} {
+					if fresh := spec.Apply(k.State, tr.ev); tr.got != fresh {
+						t.Errorf("%s %v/%v %s: memo %+v != fresh %+v",
+							proto, k.State, k.Loc, tr.name, tr.got, fresh)
+					}
+				}
+				if fresh := staticPathLatency(cfg, k.Loc); e.StaticBase != fresh {
+					t.Errorf("%s %v: static %d != fresh %d", proto, k.Loc, e.StaticBase, fresh)
+				}
+				if e.JitterFactor != pathJitterFactor(k.Loc) {
+					t.Errorf("%s %v: factor %v != %v", proto, k.Loc, e.JitterFactor, pathJitterFactor(k.Loc))
+				}
+				if e.PressureLow != float64(k.Bucket) || e.PressureHigh != float64(k.Bucket+1) {
+					t.Errorf("%s bucket %d: range [%v,%v)", proto, k.Bucket, e.PressureLow, e.PressureHigh)
+				}
+				wantWidth := int64(0)
+				if k.Loc > PathL2 && cfg.Latencies.ProbePressureJitter > 0 {
+					wantWidth = int64(cfg.Latencies.ProbePressureJitter * e.PressureHigh * e.JitterFactor * maxContention)
+				}
+				if e.MaxJitterWidth != wantWidth {
+					t.Errorf("%s %v bucket %d: max width %d != %d", proto, k.Loc, k.Bucket, e.MaxJitterWidth, wantWidth)
+				}
+			}
+
+			// Illegal keys must be rejected, not misread.
+			for _, st := range []coherence.State{coherence.Invalid, coherence.State(coherence.NumStates)} {
+				if !m.memo.legal[coherence.Invalid] {
+					if _, ok := m.MemoLookup(MemoKey{State: st, Loc: PathL1}); ok && st == coherence.State(coherence.NumStates) {
+						t.Errorf("%s: out-of-range state accepted", proto)
+					}
+				}
+			}
+			if _, ok := m.MemoLookup(MemoKey{State: spec.States()[0], Loc: Path(pathCount)}); ok {
+				t.Errorf("%s: out-of-range path accepted", proto)
+			}
+			if _, ok := m.MemoLookup(MemoKey{State: spec.States()[0], Loc: PathL1, Bucket: NumPressureBuckets}); ok {
+				t.Errorf("%s: out-of-range bucket accepted", proto)
+			}
+		}
+	}
+}
+
+// TestPressureBucket pins the quantization: bucket i covers [i, i+1) and
+// the ends clamp.
+func TestPressureBucket(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want int
+	}{{-1, 0}, {0, 0}, {0.99, 0}, {1, 1}, {5.5, 5}, {6, 6}, {100, 6}}
+	for _, c := range cases {
+		if got := PressureBucket(c.p); got != c.want {
+			t.Errorf("PressureBucket(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+// TestMemoInvalidation is the regression test for config overrides à la
+// cohsimd: changing the protocol (or any latency) on a live machine and
+// reconstructing — the runner path — must rebuild the memo, and the
+// memoized transitions must track the new spec rather than the old one.
+func TestMemoInvalidation(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	cfg := SmallConfig()
+	cfg.Protocol = coherence.MESI
+	m := New(w, cfg)
+	if m.MemoVersion() != 1 {
+		t.Fatalf("fresh memo version %d, want 1", m.MemoVersion())
+	}
+	// MESI has no F state.
+	if _, ok := m.MemoLookup(MemoKey{State: coherence.Forward, Loc: PathL1}); ok {
+		t.Fatal("MESI memo answered for F state")
+	}
+
+	m.cfg.Protocol = coherence.MESIF
+	spec, err := coherence.SpecFor(coherence.MESIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.spec = spec
+	m.InvalidateMemo()
+	if m.MemoVersion() != 2 {
+		t.Fatalf("memo version %d after invalidation, want 2", m.MemoVersion())
+	}
+	e, ok := m.MemoLookup(MemoKey{State: coherence.Forward, Loc: PathL1})
+	if !ok {
+		t.Fatal("MESIF memo missing F state after invalidation")
+	}
+	if fresh := spec.Apply(coherence.Forward, coherence.RemoteRead); e.RemoteRead != fresh {
+		t.Fatalf("stale memo after invalidation: %+v != %+v", e.RemoteRead, fresh)
+	}
+
+	// Latency changes must be reflected too.
+	m.cfg.Latencies.L1Hit += 7
+	m.InvalidateMemo()
+	if m.MemoVersion() != 3 {
+		t.Fatalf("memo version %d, want 3", m.MemoVersion())
+	}
+	if e, _ := m.MemoLookup(MemoKey{State: coherence.Forward, Loc: PathL1}); e.StaticBase != m.cfg.Latencies.L1Hit {
+		t.Fatalf("static L1 latency %d not rebuilt (want %d)", e.StaticBase, m.cfg.Latencies.L1Hit)
+	}
+}

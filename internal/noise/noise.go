@@ -147,37 +147,43 @@ func CoLocationPressure(kern *kernel.Kernel, threads int) float64 {
 	return 0.45 * float64(over)
 }
 
-// run is one thread's phase loop.
+// run is one thread's phase loop. A pre-pass flattens each phase's
+// straight-line run of accesses into a Program — drawing the phase's
+// addresses from the thread's private rng in exactly the order the
+// hand-written loop did — and Exec drives it with whichever kernel the
+// machine config selects. Address generation is untimed either way, so
+// moving the draws into the pre-pass changes no simulated behaviour.
 func (w *Workload) run(kt *kernel.Thread, base uint64, rng *sim.Rand) {
 	setBytes := uint64(w.cfg.WorkingSetPages) * kernel.PageSize
 	lines := setBytes / 64
 	ph := phaseScan
 	cursor := uint64(0)
+	prog := kernel.NewProgram(w.proc, w.cfg.OpsPerPhase)
 	for !kt.StopRequested() {
+		prog.Reset()
+		think := w.cfg.ThinkCycles
 		for op := 0; op < w.cfg.OpsPerPhase; op++ {
-			if kt.StopRequested() {
-				return
-			}
 			switch ph {
 			case phaseScan:
 				// Streaming read sweep: maximal eviction pressure.
-				kt.Load(base + (cursor%lines)*64)
+				prog.Load(base+(cursor%lines)*64, think)
 				cursor += 1
 			case phaseCompile:
 				// Random mixed accesses over a hot subset.
 				off := rng.Uint64n(lines/4) * 64
 				if rng.Bool(0.3) {
-					kt.Store(base + off)
+					prog.Store(base+off, think)
 				} else {
-					kt.Load(base + off)
+					prog.Load(base+off, think)
 				}
 			case phaseLink:
 				// Large sequential writes.
-				kt.Store(base + (cursor%lines)*64)
+				prog.Store(base+(cursor%lines)*64, think)
 				cursor += 8
 			}
-			w.Ops++
-			kt.Advance(w.cfg.ThinkCycles)
+		}
+		if kt.Exec(prog, &w.Ops) < prog.Len() {
+			return
 		}
 		ph = (ph + 1) % phaseCount
 	}

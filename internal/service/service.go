@@ -198,6 +198,12 @@ type SubmitRequest struct {
 	// service's base config field-by-field (JSON semantics). Unknown
 	// fields are rejected.
 	Config json.RawMessage `json:"config"`
+	// Kernel selects the access-stream kernel for this job ("interp" or
+	// "compiled"); empty inherits the service default. It lives outside
+	// Config because machine.Config excludes the field from JSON: the
+	// kernel is digest-exempt (both produce byte-identical results), so
+	// it must not perturb the cell cache key.
+	Kernel string `json:"kernel"`
 	// TimeoutSeconds caps the run; 0 uses the service default.
 	TimeoutSeconds float64 `json:"timeoutSeconds"`
 }
@@ -217,9 +223,12 @@ func (s *Service) buildPlan(req *SubmitRequest) (harness.Plan, []*harness.Artifa
 		if err := dec.Decode(&cfg); err != nil {
 			return zero, nil, 0, fmt.Errorf("config overrides: %w", err)
 		}
-		if err := cfg.Validate(); err != nil {
-			return zero, nil, 0, fmt.Errorf("config overrides: %w", err)
-		}
+	}
+	if req.Kernel != "" {
+		cfg.Kernel = req.Kernel
+	}
+	if err := cfg.Validate(); err != nil {
+		return zero, nil, 0, fmt.Errorf("config overrides: %w", err)
 	}
 	var sizing harness.Sizing
 	switch req.Sizing {

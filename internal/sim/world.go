@@ -77,6 +77,12 @@ type World struct {
 	// failed records a thread whose body panicked; the scheduler
 	// re-panics its error on the RunUntil goroutine.
 	failed *Thread
+
+	// fuseSafe and fuseDeadline describe the active drive's stop
+	// structure for FuseHorizon: set by RunUntilDeadline (and Run, with
+	// NoDeadline), cleared for opaque RunUntil predicates.
+	fuseSafe     bool
+	fuseDeadline Cycles
 }
 
 // NewWorld returns an empty world.
@@ -123,16 +129,66 @@ func (w *World) Spawn(name string, fn func(*Thread)) *Thread {
 	return t
 }
 
+// NoDeadline marks a RunUntilDeadline drive with no time bound: the
+// clock can never exceed it.
+const NoDeadline = ^Cycles(0)
+
 // Run drives the world until every thread has finished. It returns
 // ErrDeadlock if the cycle limit is exceeded first, or the first panic
 // value (re-panicked) if a thread body panics.
 func (w *World) Run() error {
-	return w.RunUntil(func() bool { return false })
+	return w.RunUntilDeadline(NoDeadline, nil)
 }
 
 // RunUntil drives the world until stop() returns true (checked between
 // thread steps), every thread finishes, or the cycle limit is exceeded.
+//
+// The predicate is opaque: it may read the virtual clock, so batching
+// executors (kernel.Thread.Exec) must fall back to per-operation
+// scheduling while such a drive is active. Drives whose only time
+// dependence is a deadline should use RunUntilDeadline instead, which
+// exposes the structure and keeps the fused fast path engaged.
 func (w *World) RunUntil(stop func() bool) error {
+	return w.runLoop(stop)
+}
+
+// RunUntilDeadline drives the world until stop() returns true, the
+// global clock exceeds deadline (use NoDeadline for none), every thread
+// finishes, or the cycle limit is exceeded. It is semantically identical
+// to RunUntil with the predicate `stop() || w.Now() > deadline`, but
+// declares that stop itself never reads the virtual clock — its value
+// can only change through a thread's own actions. That structure is
+// what lets the compiled access-stream kernel fuse an operation's
+// latency and think time into one Advance: the skipped intermediate
+// predicate evaluation provably has the same value (see FuseHorizon).
+func (w *World) RunUntilDeadline(deadline Cycles, stop func() bool) error {
+	w.fuseSafe, w.fuseDeadline = true, deadline
+	defer func() { w.fuseSafe = false }()
+	if stop == nil && deadline == NoDeadline {
+		return w.runLoop(nil)
+	}
+	return w.runLoop(func() bool {
+		return (stop != nil && stop()) || w.now > deadline
+	})
+}
+
+// FuseHorizon returns the active drive's deadline when the stop
+// condition is clock-free up to that deadline (a Run or RunUntilDeadline
+// drive): an Advance that keeps the thread below every other thread's
+// wake time may then skip intermediate predicate evaluations at times
+// at or below the horizon. ok is false under an opaque RunUntil
+// predicate — callers must not fuse.
+func (w *World) FuseHorizon() (deadline Cycles, ok bool) {
+	if !w.running || !w.fuseSafe {
+		return 0, false
+	}
+	return w.fuseDeadline, true
+}
+
+// CycleLimit returns the configured MaxCycles (0 = none).
+func (w *World) CycleLimit() Cycles { return w.cfg.MaxCycles }
+
+func (w *World) runLoop(stop func() bool) error {
 	if w.running {
 		panic("sim: World.Run called re-entrantly")
 	}
@@ -144,7 +200,7 @@ func (w *World) RunUntil(stop func() bool) error {
 	}()
 
 	for {
-		if stop() {
+		if stop != nil && stop() {
 			return nil
 		}
 		t := w.nextRunnable()
