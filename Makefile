@@ -8,7 +8,7 @@ GO ?= go
 # Worker count for test-dispatch and run-workers.
 N ?= 4
 
-.PHONY: build vet test test-race test-dispatch protocol-smoke bench bench-hotpath bench-smoke bench-gate benchstat staticcheck ci run-daemon run-workers
+.PHONY: build vet test test-race test-dispatch sweep-smoke protocol-smoke bench bench-hotpath bench-smoke bench-gate benchstat staticcheck ci run-daemon run-workers
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,14 @@ test-dispatch:
 	COHSIM_TEST_WORKERS=$(N) $(GO) test -race -count=1 \
 		-run 'Dispatch|Fleet|Worker|HTTP|Lease|LastEventID' \
 		./internal/dispatch/... ./internal/service/... ./internal/harness/...
+
+# Sweep-engine smoke: an 8-point capacity sweep through the daemon with
+# two attached workers; the ranked frontier TSV is golden-checked under
+# internal/service/testdata/. Regenerate the golden after an intentional
+# simulator change with:
+#   go test ./internal/service/ -run TestSweepSmokeGolden -update-golden
+sweep-smoke:
+	COHSIM_TEST_WORKERS=2 $(GO) test -count=1 -run 'TestSweepSmokeGolden|TestSweepFrontierByteIdenticalAcrossRunModes' ./internal/service/
 
 # Protocol-engine smoke: build every registered protocol table (the
 # spec validators run at package init), the golden cross-check against
@@ -89,7 +97,7 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-ci: build vet staticcheck test test-race protocol-smoke
+ci: build vet staticcheck test test-race protocol-smoke sweep-smoke
 
 # Start the experiment service daemon on :8080 (state under
 # results-daemon/). See EXPERIMENTS.md for the API walkthrough.

@@ -34,17 +34,23 @@ import (
 
 	"coherentleak/internal/dispatch"
 	"coherentleak/internal/experiments"
+	"coherentleak/internal/version"
 )
 
 func main() {
 	var (
-		server = flag.String("server", "http://localhost:8080", "cohsimd base URL")
-		name   = flag.String("name", "", "worker name in /v1/workers and SSE events (default host-pid)")
-		slots  = flag.Int("slots", 1, "cells executed concurrently")
-		poll   = flag.Duration("poll", 0, "long-poll wait per lease request (0 = server suggestion)")
-		kern   = flag.String("kernel", "", "force this worker's access-stream kernel: interp or compiled (empty = follow the coordinator)")
+		server  = flag.String("server", "http://localhost:8080", "cohsimd base URL")
+		name    = flag.String("name", "", "worker name in /v1/workers and SSE events (default host-pid)")
+		slots   = flag.Int("slots", 1, "cells executed concurrently")
+		poll    = flag.Duration("poll", 0, "long-poll wait per lease request (0 = server suggestion)")
+		kern    = flag.String("kernel", "", "force this worker's access-stream kernel: interp or compiled (empty = follow the coordinator)")
+		showVer = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("cohsim-worker", version.Get())
+		return
+	}
 
 	if *name == "" {
 		host, err := os.Hostname()

@@ -20,6 +20,7 @@ import (
 	"coherentleak/internal/covert"
 	"coherentleak/internal/machine"
 	"coherentleak/internal/stats"
+	"coherentleak/internal/version"
 )
 
 func main() {
@@ -32,8 +33,13 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "simulation seed")
 		etom      = flag.Bool("mitigate-etom", false, "enable the E->M notification hardware fix")
 		equalize  = flag.Bool("mitigate-equalize", false, "enable socket latency equalization")
+		showVer   = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("cohsim", version.Get())
+		return
+	}
 
 	if *listProto {
 		for _, p := range coherence.Protocols() {

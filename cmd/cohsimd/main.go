@@ -16,9 +16,9 @@
 //
 //	cohsimd [-addr :8080] [-out results-daemon] [-queue 16] [-jobs 1]
 //	        [-parallel N] [-job-timeout 15m] [-max-timeout 2h]
-//	        [-cache=true] [-persist=true] [-dispatch=true]
+//	        [-cache=true] [-cache-max 50000] [-persist=true] [-dispatch=true]
 //	        [-lease-ttl 90s] [-worker-ttl 270s] [-lease-attempts 3]
-//	        [-pprof ""]
+//	        [-max-sweeps 2] [-sweep-inflight 4] [-pprof ""] [-version]
 //
 // -pprof serves net/http/pprof on its own listener (e.g. -pprof
 // localhost:6060). It is off by default and should stay bound to
@@ -57,6 +57,7 @@ import (
 	"coherentleak/internal/harness"
 	"coherentleak/internal/machine"
 	"coherentleak/internal/service"
+	"coherentleak/internal/version"
 )
 
 func main() {
@@ -77,8 +78,16 @@ func main() {
 		leaseTries   = flag.Int("lease-attempts", 0, "worker attempts per cell before local fallback (0 = 3)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 		kern         = flag.String("kernel", machine.KernelInterp, "default access-stream kernel for jobs: interp or compiled (per-job `kernel` field overrides)")
+		cacheMax     = flag.Int("cache-max", 50000, "max cells kept in the manifest cache, LRU-pruned (0 = unbounded)")
+		maxSweeps    = flag.Int("max-sweeps", 2, "sweeps executed concurrently (further sweeps queue)")
+		sweepFlight  = flag.Int("sweep-inflight", 0, "concurrent points per sweep (0 = 4)")
+		showVersion  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("cohsimd", version.Get())
+		return
+	}
 
 	if *pprofAddr != "" {
 		// A dedicated mux on a dedicated listener: the profiling surface is
@@ -117,15 +126,17 @@ func main() {
 		DispatchLeaseTTL:    *leaseTTL,
 		DispatchWorkerTTL:   *workerTTL,
 		DispatchMaxAttempts: *leaseTries,
+		MaxSweeps:           *maxSweeps,
+		SweepInFlight:       *sweepFlight,
 		Log:                 os.Stderr,
 	}
-	if err := run(opts, *addr, *out, *drainTimeout, *cache, *persist); err != nil {
+	if err := run(opts, *addr, *out, *drainTimeout, *cache, *persist, *cacheMax); err != nil {
 		fmt.Fprintln(os.Stderr, "cohsimd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts service.Options, addr, out string, drainTimeout time.Duration, cache, persist bool) error {
+func run(opts service.Options, addr, out string, drainTimeout time.Duration, cache, persist bool, cacheMax int) error {
 	manifestPath := filepath.Join(out, "manifest.json")
 	if persist {
 		if err := os.MkdirAll(out, 0o755); err != nil {
@@ -147,6 +158,13 @@ func run(opts service.Options, addr, out string, drainTimeout time.Duration, cac
 		// shared across jobs for the daemon's lifetime.
 	default:
 		opts.DisableCache = true
+	}
+	if opts.Manifest != nil && cacheMax > 0 {
+		opts.Manifest.SetLimit(cacheMax)
+	} else if !opts.DisableCache && cacheMax > 0 {
+		m := harness.NewManifest()
+		m.SetLimit(cacheMax)
+		opts.Manifest = m
 	}
 
 	svc, err := service.New(opts)

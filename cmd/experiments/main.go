@@ -8,8 +8,9 @@
 //
 //	experiments [-only table1,fig2,fig6,fig7,fig8,fig9,fig10,fig11,peaks,mitigations,capacity]
 //	            [-out results] [-quick] [-seed N] [-parallel N] [-timeout D]
-//	            [-cache=false] [-archive=false] [-list] [-kernel interp|compiled]
-//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-cache=false] [-cache-max N] [-archive=false] [-list]
+//	            [-kernel interp|compiled] [-config '{"Latencies":{"QPI":60}}' | -config @overrides.json]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-version]
 //
 // A -timeout (or Ctrl-C / SIGTERM) cancels the run between cells: cells
 // already executing finish, the partial report is printed, and the
@@ -31,9 +32,13 @@ import (
 	"syscall"
 	"time"
 
+	"bytes"
+	"encoding/json"
+
 	"coherentleak/internal/experiments"
 	"coherentleak/internal/harness"
 	"coherentleak/internal/machine"
+	"coherentleak/internal/version"
 )
 
 func main() {
@@ -50,8 +55,15 @@ func main() {
 		kern     = flag.String("kernel", machine.KernelInterp, "access-stream kernel: interp or compiled (byte-identical output)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+		config   = flag.String("config", "", "machine-config overrides: JSON literal or @file, merged over the defaults (same schema as the daemon's job config)")
+		cacheMax = flag.Int("cache-max", 0, "max cells kept in the manifest cache, LRU-pruned (0 = unbounded)")
+		showVer  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("experiments", version.Get())
+		return
+	}
 
 	// A sweep's live heap is small and bounded (one machine per in-flight
 	// cell), so frequent GC cycles buy nothing; relax the pacer unless the
@@ -128,6 +140,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: starting with empty cell cache: %v\n", err)
 			manifest = harness.NewManifest()
 		}
+		if *cacheMax > 0 {
+			manifest.SetLimit(*cacheMax)
+		}
 	}
 	sinks := []harness.Sink{harness.TSVSink{Dir: *out, Log: os.Stdout}}
 	if *archive {
@@ -145,6 +160,11 @@ func main() {
 		Sinks:    sinks,
 	}
 	cfg := machine.DefaultConfig()
+	if *config != "" {
+		if err := applyConfig(&cfg, *config); err != nil {
+			die(err)
+		}
+	}
 	cfg.Kernel = *kern
 	if err := cfg.Validate(); err != nil {
 		die(err)
@@ -181,6 +201,26 @@ func main() {
 		stopProfiles()
 		os.Exit(1)
 	}
+}
+
+// applyConfig merges -config overrides (a JSON literal, or @path to a
+// JSON file) over cfg with the same strict semantics as daemon job
+// submissions: unknown fields are rejected.
+func applyConfig(cfg *machine.Config, arg string) error {
+	raw := []byte(arg)
+	if strings.HasPrefix(arg, "@") {
+		b, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return err
+		}
+		raw = b
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(cfg); err != nil {
+		return fmt.Errorf("config overrides: %w", err)
+	}
+	return nil
 }
 
 func die(err error) {

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// TSV score extraction: the sweep engine ranks operating points by a
+// number pulled out of an artifact's assembled TSV (covert capacity
+// from the capacity table, error rate from fig9, mitigation accuracy
+// from the ablation table, ...). The artifact tables are the single
+// source of truth for every reproduced figure, so scoring reads them
+// rather than re-deriving numbers through a side channel.
+
+// TSVColumn extracts one named column from an assembled TSV table
+// (header line first, tab-separated, as produced by
+// harness.ArtifactResult.TSV). Rows are optionally restricted by
+// filter: a map of column name to the exact cell value a row must
+// carry to be included. Numeric cells parse as floats; the cells
+// "true"/"false" parse as 1/0 so boolean columns (e.g. protomatrix's
+// "survives") can be aggregated too.
+func TSVColumn(tsv []byte, column string, filter map[string]string) ([]float64, error) {
+	lines := strings.Split(strings.TrimRight(string(tsv), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return nil, fmt.Errorf("experiments: empty TSV")
+	}
+	header := strings.Split(lines[0], "\t")
+	col := -1
+	filterIdx := make(map[int]string, len(filter))
+	for i, h := range header {
+		if h == column {
+			col = i
+		}
+		if want, ok := filter[h]; ok {
+			filterIdx[i] = want
+		}
+	}
+	if col < 0 {
+		return nil, fmt.Errorf("experiments: column %q not in TSV header %q", column, lines[0])
+	}
+	if len(filterIdx) != len(filter) {
+		missing := make([]string, 0, len(filter))
+		for name := range filter {
+			found := false
+			for _, h := range header {
+				if h == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				missing = append(missing, name)
+			}
+		}
+		return nil, fmt.Errorf("experiments: filter column(s) %s not in TSV header %q",
+			strings.Join(missing, ", "), lines[0])
+	}
+
+	var out []float64
+rows:
+	for ln, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		for i, want := range filterIdx {
+			if i >= len(fields) || fields[i] != want {
+				continue rows
+			}
+		}
+		if col >= len(fields) {
+			return nil, fmt.Errorf("experiments: row %d has %d field(s), column %q is index %d", ln+1, len(fields), column, col)
+		}
+		v, err := parseCell(fields[col])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: row %d column %q: %w", ln+1, column, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseCell(s string) (float64, error) {
+	switch s {
+	case "true":
+		return 1, nil
+	case "false":
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cell %q is not numeric", s)
+	}
+	return v, nil
+}
+
+// AggregateColumn folds extracted column values into one score.
+// Supported aggregates: "max", "min", "mean", "sum", "first", "last",
+// "count". An empty vals slice is an error for everything but "count":
+// a sweep point whose filtered TSV is empty has no score.
+func AggregateColumn(vals []float64, aggregate string) (float64, error) {
+	if aggregate == "count" {
+		return float64(len(vals)), nil
+	}
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("experiments: no rows to aggregate")
+	}
+	switch aggregate {
+	case "max":
+		out := math.Inf(-1)
+		for _, v := range vals {
+			if v > out {
+				out = v
+			}
+		}
+		return out, nil
+	case "min":
+		out := math.Inf(1)
+		for _, v := range vals {
+			if v < out {
+				out = v
+			}
+		}
+		return out, nil
+	case "mean":
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return sum / float64(len(vals)), nil
+	case "sum":
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return sum, nil
+	case "first":
+		return vals[0], nil
+	case "last":
+		return vals[len(vals)-1], nil
+	}
+	return 0, fmt.Errorf("experiments: unknown aggregate %q (want max, min, mean, sum, first, last or count)", aggregate)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var scoreTSV = []byte(strings.Join([]string{
+	"scenario\tnoise\tinfo_kbps\tsurvives",
+	"a\t0\t1000.5\ttrue",
+	"a\t8\t250.0\ttrue",
+	"b\t0\t900.0\tfalse",
+	"b\t8\t100.0\tfalse",
+	"",
+}, "\n"))
+
+func TestTSVColumn(t *testing.T) {
+	vals, err := TSVColumn(scoreTSV, "info_kbps", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{1000.5, 250, 900, 100}; len(vals) != len(want) {
+		t.Fatalf("vals = %v, want %v", vals, want)
+	} else {
+		for i := range want {
+			if vals[i] != want[i] {
+				t.Fatalf("vals = %v, want %v", vals, want)
+			}
+		}
+	}
+
+	// Filtered extraction restricts rows before aggregation.
+	vals, err = TSVColumn(scoreTSV, "info_kbps", map[string]string{"scenario": "a", "noise": "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != 250 {
+		t.Fatalf("filtered vals = %v, want [250]", vals)
+	}
+
+	// Boolean cells parse as 1/0.
+	vals, err = TSVColumn(scoreTSV, "survives", map[string]string{"scenario": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 0 || vals[1] != 0 {
+		t.Fatalf("bool vals = %v, want [0 0]", vals)
+	}
+}
+
+func TestTSVColumnErrors(t *testing.T) {
+	if _, err := TSVColumn(scoreTSV, "nope", nil); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := TSVColumn(scoreTSV, "info_kbps", map[string]string{"nope": "x"}); err == nil {
+		t.Fatal("unknown filter column accepted")
+	}
+	if _, err := TSVColumn(scoreTSV, "scenario", nil); err == nil {
+		t.Fatal("non-numeric column parsed")
+	}
+	if _, err := TSVColumn(nil, "x", nil); err == nil {
+		t.Fatal("empty TSV accepted")
+	}
+}
+
+func TestAggregateColumn(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	for _, tc := range []struct {
+		agg  string
+		want float64
+	}{
+		{"max", 3}, {"min", 1}, {"mean", 2}, {"sum", 6},
+		{"first", 3}, {"last", 2}, {"count", 3},
+	} {
+		got, err := AggregateColumn(vals, tc.agg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.agg, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.agg, got, tc.want)
+		}
+	}
+	if _, err := AggregateColumn(nil, "max"); err == nil {
+		t.Fatal("empty max accepted")
+	}
+	if got, err := AggregateColumn(nil, "count"); err != nil || got != 0 {
+		t.Fatalf("count of empty = %v, %v", got, err)
+	}
+	if _, err := AggregateColumn(vals, "median"); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+}

@@ -36,6 +36,15 @@ type manifestFile struct {
 type Manifest struct {
 	mu      sync.Mutex
 	entries map[string]*ManifestEntry
+	// limit bounds the entry count; 0 means unbounded. When a Store
+	// would exceed it, the least-recently-used entry is evicted.
+	limit int
+	// clock is a logical recency counter; lastUse[key] holds the tick of
+	// the key's last hit or store. Recency is in-memory only — a loaded
+	// manifest starts with every entry equally old, which is fine: the
+	// first sweep over it refreshes what is live.
+	clock   uint64
+	lastUse map[string]uint64
 	// saveMu serializes Save so two jobs finishing simultaneously write
 	// whole snapshots in turn instead of racing on the temp file.
 	saveMu sync.Mutex
@@ -43,7 +52,44 @@ type Manifest struct {
 
 // NewManifest returns an empty manifest.
 func NewManifest() *Manifest {
-	return &Manifest{entries: make(map[string]*ManifestEntry)}
+	return &Manifest{
+		entries: make(map[string]*ManifestEntry),
+		lastUse: make(map[string]uint64),
+	}
+}
+
+// SetLimit bounds the cache to at most n entries (0 restores unbounded
+// growth). If the manifest already holds more, the least-recently-used
+// entries are pruned immediately.
+func (m *Manifest) SetLimit(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.limit = n
+	m.pruneLocked()
+}
+
+// pruneLocked evicts least-recently-used entries until the limit holds.
+// Eviction scans for the minimum recency tick — O(n) per eviction, but
+// evictions are rare (one per Store once the cache is full) and n is
+// the cache bound itself. Ties break on the smaller key so eviction
+// order is deterministic.
+func (m *Manifest) pruneLocked() {
+	if m.limit <= 0 {
+		return
+	}
+	for len(m.entries) > m.limit {
+		var victim string
+		var oldest uint64
+		first := true
+		for k := range m.entries {
+			use := m.lastUse[k]
+			if first || use < oldest || (use == oldest && k < victim) {
+				victim, oldest, first = k, use, false
+			}
+		}
+		delete(m.entries, victim)
+		delete(m.lastUse, victim)
+	}
 }
 
 // LoadManifest reads a manifest file. A missing file or a version
@@ -64,7 +110,7 @@ func LoadManifest(path string) (*Manifest, error) {
 	if f.Version != ManifestVersion || f.Entries == nil {
 		return NewManifest(), nil
 	}
-	return &Manifest{entries: f.Entries}, nil
+	return &Manifest{entries: f.Entries, lastUse: make(map[string]uint64, len(f.Entries))}, nil
 }
 
 // Save writes the manifest atomically: a consistent snapshot is
@@ -130,14 +176,21 @@ func (m *Manifest) Lookup(key, digest string) (*ManifestEntry, bool) {
 	if !ok || e.Digest != digest {
 		return nil, false
 	}
+	m.clock++
+	m.lastUse[key] = m.clock
 	return e, true
 }
 
-// Store records a cell's output, replacing any stale entry.
+// Store records a cell's output, replacing any stale entry. When a
+// limit is set and the cache is full, the least-recently-used entry is
+// evicted to make room.
 func (m *Manifest) Store(key string, e *ManifestEntry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.entries[key] = e
+	m.clock++
+	m.lastUse[key] = m.clock
+	m.pruneLocked()
 }
 
 // Len reports the number of cached cells.

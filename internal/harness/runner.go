@@ -322,10 +322,16 @@ func (r *Runner) runCell(ctx context.Context, plan Plan, digest string, a *Artif
 	rep.Artifact, rep.Cell, rep.Index = a.Name, c.Name, idx
 	key := a.Name + "/" + c.Name
 	in := cellDigest(digest, plan.Seed, plan.Sizing, a.Name, c.Name)
+	// Cache entries are keyed by the full input digest, not just the
+	// cell name, so plan variants (config/seed/sizing sweeps) coexist in
+	// the manifest instead of evicting each other — that is what lets a
+	// repeated sweep be served almost entirely from cache. The LRU limit
+	// (SetLimit) bounds the growth this implies.
+	cacheKey := key + "@" + in
 	// The cache is consulted before dispatch, not just before local
 	// execution: a cached cell never ships to a remote worker.
 	if r.Manifest != nil {
-		if e, ok := r.Manifest.Lookup(key, in); ok {
+		if e, ok := r.Manifest.Lookup(cacheKey, in); ok {
 			*out = CellOutput{Rows: e.Rows, Summary: e.Summary}
 			rep.Cached = true
 			rep.Rows = len(e.Rows)
@@ -357,7 +363,7 @@ func (r *Runner) runCell(ctx context.Context, plan Plan, digest string, a *Artif
 	*out = o
 	rep.Rows = len(o.Rows)
 	if r.Manifest != nil {
-		r.Manifest.Store(key, &ManifestEntry{
+		r.Manifest.Store(cacheKey, &ManifestEntry{
 			Digest:     in,
 			Rows:       o.Rows,
 			Summary:    o.Summary,

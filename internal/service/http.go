@@ -13,6 +13,8 @@ import (
 	"coherentleak/internal/coherence"
 	"coherentleak/internal/harness"
 	"coherentleak/internal/replay"
+	"coherentleak/internal/sweep"
+	"coherentleak/internal/version"
 )
 
 // Handler builds the daemon's HTTP API:
@@ -27,6 +29,13 @@ import (
 //	DELETE /v1/jobs/{id}                       cancel (also POST /v1/jobs/{id}/cancel)
 //	GET    /v1/jobs/{id}/events                Server-Sent Events progress stream
 //	GET    /v1/jobs/{id}/artifacts/{file}      <artifact>.tsv or <artifact>.json
+//	GET    /v1/version                         build identity
+//	POST   /v1/sweeps                          submit a parameter sweep (202)
+//	GET    /v1/sweeps                          list sweeps in submission order
+//	GET    /v1/sweeps/{id}                     one sweep's state and frontier
+//	DELETE /v1/sweeps/{id}                     cancel (also POST /v1/sweeps/{id}/cancel)
+//	GET    /v1/sweeps/{id}/events              SSE per-point progress + frontier updates
+//	GET    /v1/sweeps/{id}/frontier.tsv        ranked frontier (deterministic bytes)
 //
 // When dispatch is enabled the worker-fleet protocol mounts alongside:
 // POST/GET /v1/workers, DELETE /v1/workers/{id}, and the per-worker
@@ -44,6 +53,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{file}", s.handleDownload)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweeps)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	mux.HandleFunc("POST /v1/sweeps/{id}/cancel", s.handleSweepCancel)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/frontier.tsv", s.handleSweepFrontier)
 	if s.fleet != nil {
 		s.fleet.Routes(mux)
 	}
@@ -221,6 +238,18 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer unsub()
+	serveSSE(w, r, history, ch,
+		func(ev Event) (int, string) { return ev.Seq, ev.Type },
+		func(ev Event) bool { return ev.Type == "state" && ev.State.Terminal() })
+}
+
+// serveSSE is the shared Server-Sent Events writer behind the job and
+// sweep streams: replay history (skipping past Last-Event-ID on
+// reconnect), then follow the live channel until the stream's final
+// event, the subscriber is evicted, or the client disconnects. Frames
+// carry id: (the event's sequence number), event: (its type) and a
+// JSON data: payload.
+func serveSSE[E any](w http.ResponseWriter, r *http.Request, history []E, ch chan E, ident func(E) (seq int, typ string), last func(E) bool) {
 	lastSeen := -1
 	if v := strings.TrimSpace(r.Header.Get("Last-Event-ID")); v != "" {
 		if n, err := strconv.Atoi(v); err == nil {
@@ -233,19 +262,20 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
-	write := func(ev Event) bool {
+	write := func(ev E) bool {
 		data, err := json.Marshal(ev)
 		if err != nil {
 			return false
 		}
-		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+		seq, typ := ident(ev)
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", seq, typ, data)
 		if canFlush {
 			flusher.Flush()
 		}
-		return !(ev.Type == "state" && ev.State.Terminal())
+		return !last(ev)
 	}
 	for _, ev := range history {
-		if ev.Seq <= lastSeen {
+		if seq, _ := ident(ev); seq <= lastSeen {
 			continue
 		}
 		if !write(ev) {
@@ -268,6 +298,88 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleVersion reports the daemon binary's build identity.
+func (s *Service) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, version.Get())
+}
+
+// handleSweepSubmit admits a parameter sweep. The body is a sweep.Spec;
+// the whole grid is validated (including every point's config) before
+// anything is accepted.
+func (s *Service) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "request body: " + err.Error()})
+		return
+	}
+	sw, err := s.SubmitSweep(spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	v, _ := s.SweepView(sw.ID)
+	w.Header().Set("Location", "/v1/sweeps/"+sw.ID)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Service) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": s.SweepViews()})
+}
+
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.SweepView(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Service) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.CancelSweep(id) {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
+		return
+	}
+	v, _ := s.SweepView(id)
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleSweepEvents streams sweep progress (point completions, backoff
+// notices, frontier updates) over SSE with the same history-replay and
+// Last-Event-ID resume semantics as job streams.
+func (s *Service) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	history, ch, unsub, ok := s.SubscribeSweep(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
+		return
+	}
+	defer unsub()
+	serveSSE(w, r, history, ch,
+		func(ev SweepEvent) (int, string) { return ev.Seq, ev.Type },
+		func(ev SweepEvent) bool { return ev.Type == "state" && ev.State.Terminal() })
+}
+
+// handleSweepFrontier serves the sweep's ranked frontier as TSV. The
+// bytes are deterministic for a fixed spec + seed regardless of how the
+// points were scheduled.
+func (s *Service) handleSweepFrontier(w http.ResponseWriter, r *http.Request) {
+	tsv, ok := s.SweepFrontierTSV(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	w.Header().Set("Content-Disposition", `attachment; filename="frontier.tsv"`)
+	w.Write(tsv)
 }
 
 // handleDownload serves an assembled artifact as TSV (byte-identical to

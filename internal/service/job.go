@@ -79,20 +79,18 @@ type Job struct {
 	// Mutable state, guarded by the owning Service's mu (jobs are few
 	// and events short; one lock keeps ordering between state changes
 	// and event publication trivial).
-	state     State
-	started   time.Time
-	finished  time.Time
-	errMsg    string
-	total     int
-	done      int
-	executed  int
-	cached    int
-	failed    int
-	report    *harness.RunReport
-	results   map[string]*harness.ArtifactResult
-	events    []Event
-	subs      map[int]chan Event
-	nextSubID int
+	state    State
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	total    int
+	done     int
+	executed int
+	cached   int
+	failed   int
+	report   *harness.RunReport
+	results  map[string]*harness.ArtifactResult
+	stream   *eventLog[Event]
 }
 
 // CellsView summarizes per-cell progress counters.
@@ -169,46 +167,20 @@ func (j *Job) view() View {
 	return v
 }
 
-// publish appends an event and fans it out. Caller holds the service
-// lock. A subscriber whose buffer is full has stalled; it is closed and
-// dropped so it cannot block the executor.
+// publish appends an event and fans it out through the job's stream
+// (slow subscribers are evicted there). Caller holds the service lock.
 func (j *Job) publish(ev Event) {
-	ev.Seq = len(j.events)
-	j.events = append(j.events, ev)
-	for id, ch := range j.subs {
-		select {
-		case ch <- ev:
-		default:
-			close(ch)
-			delete(j.subs, id)
-		}
-	}
-	if ev.Type == "state" && ev.State.Terminal() {
-		for id, ch := range j.subs {
-			close(ch)
-			delete(j.subs, id)
-		}
-	}
+	ev.Seq = j.stream.seq()
+	j.stream.publish(ev, ev.Type == "state" && ev.State.Terminal())
 }
 
 // subscribe returns the event history so far plus a live channel (nil
 // if the job is already terminal). Caller holds the service lock.
 func (j *Job) subscribe() (history []Event, ch chan Event, id int) {
-	history = append([]Event(nil), j.events...)
-	if j.state.Terminal() {
-		return history, nil, 0
-	}
-	ch = make(chan Event, subEventBuffer)
-	id = j.nextSubID
-	j.nextSubID++
-	j.subs[id] = ch
-	return history, ch, id
+	return j.stream.subscribe(j.state.Terminal())
 }
 
 // unsubscribe detaches a live subscriber. Caller holds the service lock.
 func (j *Job) unsubscribe(id int) {
-	if ch, ok := j.subs[id]; ok {
-		close(ch)
-		delete(j.subs, id)
-	}
+	j.stream.unsubscribe(id)
 }

@@ -19,6 +19,13 @@ type Metrics struct {
 	jobsRejected uint64
 	jobsByState  map[State]uint64
 
+	sweepsAccepted uint64
+	sweepsByState  map[State]uint64
+	sweepPointsOK  uint64
+	sweepPointsBad uint64
+	sweepBackoffs  uint64
+	sseEvictions   uint64
+
 	cellsExecuted uint64
 	cellsCached   uint64
 	cellsFailed   uint64
@@ -46,6 +53,7 @@ type workerCellCounts struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		jobsByState:     make(map[State]uint64),
+		sweepsByState:   make(map[State]uint64),
 		jobSeconds:      newHistogram(jobBuckets),
 		cellSeconds:     make(map[string]*histogram),
 		workerCells:     make(map[string]*workerCellCounts),
@@ -99,6 +107,47 @@ func (m *Metrics) JobFinished(state State, seconds float64) {
 	defer m.mu.Unlock()
 	m.jobsByState[state]++
 	m.jobSeconds.observe(seconds)
+}
+
+// SweepAccepted counts an admitted sweep.
+func (m *Metrics) SweepAccepted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepsAccepted++
+}
+
+// SweepFinished records a sweep's terminal state.
+func (m *Metrics) SweepFinished(state State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepsByState[state]++
+}
+
+// SweepPoint records one terminal sweep point.
+func (m *Metrics) SweepPoint(failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if failed {
+		m.sweepPointsBad++
+	} else {
+		m.sweepPointsOK++
+	}
+}
+
+// SweepBackoff counts one admission-control backoff absorbed by a
+// sweep point.
+func (m *Metrics) SweepBackoff() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepBackoffs++
+}
+
+// SSEEvicted counts a slow event-stream subscriber dropped because its
+// buffer overflowed.
+func (m *Metrics) SSEEvicted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sseEvictions++
 }
 
 // CellFinished records one finished cell.
@@ -191,6 +240,8 @@ type Gauges struct {
 	JobsRunning     int
 	QueueCapacity   int
 	ManifestEntries int
+	SweepsQueued    int
+	SweepsRunning   int
 	// Worker-fleet samples (zero when dispatch is disabled).
 	WorkersLive        int
 	LeasesInFlight     int
@@ -210,6 +261,17 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	for _, st := range []State{StateDone, StateFailed, StateCancelled} {
 		fmt.Fprintf(w, "cohsimd_jobs_finished_total{state=%q} %d\n", st, m.jobsByState[st])
 	}
+
+	fmt.Fprintf(w, "# HELP cohsimd_sweeps_accepted_total Sweeps admitted.\n# TYPE cohsimd_sweeps_accepted_total counter\ncohsimd_sweeps_accepted_total %d\n", m.sweepsAccepted)
+	fmt.Fprintf(w, "# HELP cohsimd_sweeps_finished_total Sweeps by terminal state.\n# TYPE cohsimd_sweeps_finished_total counter\n")
+	for _, st := range []State{StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "cohsimd_sweeps_finished_total{state=%q} %d\n", st, m.sweepsByState[st])
+	}
+	fmt.Fprintf(w, "# HELP cohsimd_sweep_points_total Sweep points by outcome.\n# TYPE cohsimd_sweep_points_total counter\n")
+	fmt.Fprintf(w, "cohsimd_sweep_points_total{outcome=\"ok\"} %d\n", m.sweepPointsOK)
+	fmt.Fprintf(w, "cohsimd_sweep_points_total{outcome=\"failed\"} %d\n", m.sweepPointsBad)
+	fmt.Fprintf(w, "# HELP cohsimd_sweep_backoffs_total Admission-control backoffs absorbed by sweep points.\n# TYPE cohsimd_sweep_backoffs_total counter\ncohsimd_sweep_backoffs_total %d\n", m.sweepBackoffs)
+	fmt.Fprintf(w, "# HELP cohsimd_sse_evictions_total Slow event-stream subscribers dropped on buffer overflow.\n# TYPE cohsimd_sse_evictions_total counter\ncohsimd_sse_evictions_total %d\n", m.sseEvictions)
 
 	fmt.Fprintf(w, "# HELP cohsimd_cells_total Cells by outcome.\n# TYPE cohsimd_cells_total counter\n")
 	fmt.Fprintf(w, "cohsimd_cells_total{outcome=\"executed\"} %d\n", m.cellsExecuted)
@@ -247,6 +309,8 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "# HELP cohsimd_jobs_running Jobs currently executing.\n# TYPE cohsimd_jobs_running gauge\ncohsimd_jobs_running %d\n", g.JobsRunning)
 	fmt.Fprintf(w, "# HELP cohsimd_queue_capacity Bounded queue capacity.\n# TYPE cohsimd_queue_capacity gauge\ncohsimd_queue_capacity %d\n", g.QueueCapacity)
 	fmt.Fprintf(w, "# HELP cohsimd_manifest_entries Cells in the shared manifest cache.\n# TYPE cohsimd_manifest_entries gauge\ncohsimd_manifest_entries %d\n", g.ManifestEntries)
+	fmt.Fprintf(w, "# HELP cohsimd_sweeps_queued Sweeps waiting for a run slot.\n# TYPE cohsimd_sweeps_queued gauge\ncohsimd_sweeps_queued %d\n", g.SweepsQueued)
+	fmt.Fprintf(w, "# HELP cohsimd_sweeps_running Sweeps currently executing.\n# TYPE cohsimd_sweeps_running gauge\ncohsimd_sweeps_running %d\n", g.SweepsRunning)
 	fmt.Fprintf(w, "# HELP cohsimd_workers_live Workers currently attached to the fleet.\n# TYPE cohsimd_workers_live gauge\ncohsimd_workers_live %d\n", g.WorkersLive)
 	fmt.Fprintf(w, "# HELP cohsimd_dispatch_leases_in_flight Cells currently leased to workers.\n# TYPE cohsimd_dispatch_leases_in_flight gauge\ncohsimd_dispatch_leases_in_flight %d\n", g.LeasesInFlight)
 	fmt.Fprintf(w, "# HELP cohsimd_dispatch_queue_depth Cells awaiting a worker lease.\n# TYPE cohsimd_dispatch_queue_depth gauge\ncohsimd_dispatch_queue_depth %d\n", g.DispatchQueueDepth)

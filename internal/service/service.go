@@ -72,6 +72,12 @@ type Options struct {
 	// DispatchMaxAttempts bounds worker executions per cell before the
 	// in-process fallback; <=0 means the dispatch default (3).
 	DispatchMaxAttempts int
+	// MaxSweeps bounds concurrently running sweeps; <=0 means 2.
+	// Submitted sweeps beyond the bound queue.
+	MaxSweeps int
+	// SweepInFlight bounds concurrently running points per sweep; <=0
+	// means the engine default (4).
+	SweepInFlight int
 	// Log receives one line per lifecycle event; nil discards.
 	Log io.Writer
 }
@@ -98,6 +104,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxTimeout <= 0 {
 		o.MaxTimeout = 2 * time.Hour
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 2
 	}
 	return o
 }
@@ -133,6 +142,16 @@ type Service struct {
 	draining bool
 	seq      int
 
+	// Sweep table, mirrored after the job table. sweepGate bounds the
+	// number of sweeps running at once; submitted sweeps beyond the
+	// bound stay queued on it.
+	sweeps        map[string]*Sweep
+	sweepOrder    []string
+	sweepSeq      int
+	sweepsRunning int
+	sweepGate     chan struct{}
+	sweepWG       sync.WaitGroup
+
 	wg sync.WaitGroup
 }
 
@@ -146,10 +165,12 @@ func New(opts Options) (*Service, error) {
 		return nil, fmt.Errorf("service: base config: %w", err)
 	}
 	s := &Service{
-		opts:    opts,
-		metrics: NewMetrics(),
-		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, opts.QueueDepth),
+		opts:      opts,
+		metrics:   NewMetrics(),
+		jobs:      make(map[string]*Job),
+		queue:     make(chan *Job, opts.QueueDepth),
+		sweeps:    make(map[string]*Sweep),
+		sweepGate: make(chan struct{}, opts.MaxSweeps),
 	}
 	if !opts.DisableDispatch {
 		s.fleet = dispatch.NewFleet(dispatch.Options{
@@ -282,7 +303,7 @@ func (s *Service) Submit(req *SubmitRequest) (*Job, error) {
 		Created:   time.Now(),
 		state:     StateQueued,
 		results:   make(map[string]*harness.ArtifactResult),
-		subs:      make(map[int]chan Event),
+		stream:    newEventLog[Event](subEventBuffer, s.metrics.SSEEvicted),
 	}
 	select {
 	case s.queue <- job:
@@ -410,6 +431,12 @@ func (s *Service) Gauges() Gauges {
 		JobsRunning:     s.running,
 		QueueCapacity:   s.opts.QueueDepth,
 		ManifestEntries: s.opts.Manifest.Len(),
+		SweepsRunning:   s.sweepsRunning,
+	}
+	for _, id := range s.sweepOrder {
+		if s.sweeps[id].state == StateQueued {
+			g.SweepsQueued++
+		}
 	}
 	s.mu.Unlock()
 	if s.fleet != nil {
@@ -605,10 +632,27 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	close(s.queue)
+	// Sweeps are long-lived by design, so graceful drain cancels them
+	// outright: their in-flight jobs cancel, queued points never run.
+	for _, id := range s.sweepOrder {
+		sw := s.sweeps[id]
+		if sw.state.Terminal() {
+			continue
+		}
+		if sw.cancel != nil {
+			sw.cancel(errShutdown)
+		} else {
+			// Submitted but its goroutine has not installed a cancel
+			// func yet; mark it terminal so the goroutine exits at its
+			// first state check.
+			s.finishSweepLocked(sw, StateCancelled, errShutdown.Error())
+		}
+	}
 	s.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
+		s.sweepWG.Wait()
 		s.wg.Wait()
 		close(done)
 	}()

@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one ranked frontier member.
+type Entry struct {
+	// Point is the scored operating point.
+	Point Point
+	// Score is the objective's raw value (not direction-normalized).
+	Score float64
+	// JobID names the job that ran the point; informational only — it
+	// is deliberately absent from the frontier TSV because job IDs vary
+	// across daemons while the frontier must not.
+	JobID string
+}
+
+// Frontier maintains the ranked top-K scored points. Ranking is fully
+// deterministic: primary order is score in the objective's direction,
+// ties break on the point's expansion index, so the frontier — and its
+// TSV rendering — is byte-identical no matter what order points
+// complete in. Not safe for concurrent use; the engine serializes
+// access.
+type Frontier struct {
+	maximize bool
+	topK     int // 0 = unbounded
+	entries  []Entry
+}
+
+// NewFrontier returns an empty frontier ranking in the objective's
+// direction, keeping at most topK entries (0 keeps everything).
+func NewFrontier(maximize bool, topK int) *Frontier {
+	return &Frontier{maximize: maximize, topK: topK}
+}
+
+// ranksBefore reports whether a outranks b.
+func (f *Frontier) ranksBefore(a, b Entry) bool {
+	if a.Score != b.Score {
+		if f.maximize {
+			return a.Score > b.Score
+		}
+		return a.Score < b.Score
+	}
+	return a.Point.Index < b.Point.Index
+}
+
+// Add inserts a scored point and reports whether the ranked set
+// changed (i.e. the point made the cut).
+func (f *Frontier) Add(e Entry) bool {
+	i := sort.Search(len(f.entries), func(i int) bool {
+		return f.ranksBefore(e, f.entries[i])
+	})
+	if f.topK > 0 && i >= f.topK {
+		return false
+	}
+	f.entries = append(f.entries, Entry{})
+	copy(f.entries[i+1:], f.entries[i:])
+	f.entries[i] = e
+	if f.topK > 0 && len(f.entries) > f.topK {
+		f.entries = f.entries[:f.topK]
+	}
+	return true
+}
+
+// Entries returns the ranked entries, best first.
+func (f *Frontier) Entries() []Entry {
+	return append([]Entry(nil), f.entries...)
+}
+
+// Len reports the frontier size.
+func (f *Frontier) Len() int { return len(f.entries) }
+
+// FormatScore renders a score exactly as the frontier TSV does.
+func FormatScore(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// TSV renders the frontier table: rank, point index, score, seed, then
+// one column per axis in axis order. Only deterministic fields appear
+// (no job IDs, no timings), so a fixed spec + seed yields byte-
+// identical output across serial, parallel and fleet runs.
+func (f *Frontier) TSV(axisNames []string) []byte {
+	var b strings.Builder
+	b.WriteString("rank\tpoint\tscore\tseed")
+	for _, n := range axisNames {
+		b.WriteByte('\t')
+		b.WriteString(n)
+	}
+	b.WriteByte('\n')
+	for rank, e := range f.entries {
+		b.WriteString(strconv.Itoa(rank + 1))
+		b.WriteByte('\t')
+		b.WriteString(strconv.Itoa(e.Point.Index))
+		b.WriteByte('\t')
+		b.WriteString(FormatScore(e.Score))
+		b.WriteByte('\t')
+		b.WriteString(strconv.FormatUint(e.Point.Seed, 10))
+		for _, p := range e.Point.Params {
+			b.WriteByte('\t')
+			b.WriteString(p.Display())
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,67 @@
+// Package version reports build provenance for every binary and the
+// daemon's /v1/version endpoint, read from the build info the Go
+// linker already embeds — no ldflags stamping, no extra tooling.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity shared by the -version flags and the
+// daemon endpoint.
+type Info struct {
+	// Version is the module version ("(devel)" for plain go build).
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, when the
+	// build ran inside a checkout.
+	Revision string `json:"revision,omitempty"`
+	// Time is the commit timestamp (RFC 3339).
+	Time string `json:"time,omitempty"`
+	// Dirty reports uncommitted changes in the build checkout.
+	Dirty bool `json:"dirty,omitempty"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+}
+
+// Get reads the running binary's build info. It degrades gracefully:
+// binaries built without module support still report the Go version.
+func Get() Info {
+	info := Info{Version: "unknown", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line form the -version flags print.
+func (i Info) String() string {
+	out := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " (" + rev
+		if i.Dirty {
+			out += "-dirty"
+		}
+		out += ")"
+	}
+	return fmt.Sprintf("%s %s", out, i.Go)
+}
