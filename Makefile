@@ -8,7 +8,7 @@ GO ?= go
 # Worker count for test-dispatch and run-workers.
 N ?= 4
 
-.PHONY: build vet test test-race test-dispatch sweep-smoke protocol-smoke bench bench-hotpath bench-smoke bench-gate benchstat staticcheck ci run-daemon run-workers
+.PHONY: build vet test test-race test-dispatch sweep-smoke protocol-smoke loadgen-smoke bench bench-hotpath bench-smoke bench-gate benchstat staticcheck ci run-daemon run-workers
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ protocol-smoke:
 	$(GO) test -count=1 -run 'TestSpecsMatchLegacyApply|TestRegisteredSpecsExhaustiveCoverage|TestSpecValidationRejectsBadTables|TestRegistryLookup' ./internal/coherence/
 	$(GO) run ./cmd/cohsim -protocols
 	$(GO) run ./cmd/experiments -quick -cache=false -only protomatrix -out /tmp/cohsim-protocol-smoke
+
+# Multi-tenant capacity smoke: two equal-weight authenticated tenants
+# replay the hot mix against an in-process daemon with two dispatch
+# workers attached; the run must show a fair throughput split (no
+# starvation) and a >90% cache-hit ratio. cmd/loadgen is the same
+# harness as a standalone binary for real deployments (BENCH_9.json).
+loadgen-smoke:
+	$(GO) test -count=1 -run TestLoadgenSmoke ./internal/loadgen/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -97,7 +105,7 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-ci: build vet staticcheck test test-race protocol-smoke sweep-smoke
+ci: build vet staticcheck test test-race protocol-smoke sweep-smoke loadgen-smoke
 
 # Start the experiment service daemon on :8080 (state under
 # results-daemon/). See EXPERIMENTS.md for the API walkthrough.

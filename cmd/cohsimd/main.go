@@ -17,8 +17,18 @@
 //	cohsimd [-addr :8080] [-out results-daemon] [-queue 16] [-jobs 1]
 //	        [-parallel N] [-job-timeout 15m] [-max-timeout 2h]
 //	        [-cache=true] [-cache-max 50000] [-persist=true] [-dispatch=true]
+//	        [-store-dir DIR] [-store-max-bytes N] [-keys keys.json]
 //	        [-lease-ttl 90s] [-worker-ttl 270s] [-lease-attempts 3]
 //	        [-max-sweeps 2] [-sweep-inflight 4] [-pprof ""] [-version]
+//
+// -store-dir replaces the manifest snapshot with a crash-safe
+// content-addressed on-disk cell store (one file per entry); several
+// cohsimd replicas pointed at the same directory share cache hits.
+// -keys loads a tenant keys file ({"tenants":[{"name","key","weight",
+// "maxInFlight","maxQueuedPoints","sweepBudget"}]}): every job and
+// sweep route then requires "Authorization: Bearer <key>", each tenant
+// sees only its own work, quotas apply, and jobs drain through a
+// weighted fair queue so no tenant can head-of-line-block another.
 //
 // -pprof serves net/http/pprof on its own listener (e.g. -pprof
 // localhost:6060). It is off by default and should stay bound to
@@ -57,6 +67,8 @@ import (
 	"coherentleak/internal/harness"
 	"coherentleak/internal/machine"
 	"coherentleak/internal/service"
+	"coherentleak/internal/store"
+	"coherentleak/internal/tenant"
 	"coherentleak/internal/version"
 )
 
@@ -81,6 +93,9 @@ func main() {
 		cacheMax     = flag.Int("cache-max", 50000, "max cells kept in the manifest cache, LRU-pruned (0 = unbounded)")
 		maxSweeps    = flag.Int("max-sweeps", 2, "sweeps executed concurrently (further sweeps queue)")
 		sweepFlight  = flag.Int("sweep-inflight", 0, "concurrent points per sweep (0 = 4)")
+		storeDir     = flag.String("store-dir", "", "shared on-disk cell store directory (replaces the manifest cache; replicas sharing it share hits)")
+		storeMax     = flag.Int64("store-max-bytes", 0, "size bound on the -store-dir payload, oldest entries evicted (0 = unbounded)")
+		keysPath     = flag.String("keys", "", "tenant keys file enabling API-key auth, quotas and fair queueing (empty = anonymous mode)")
 		showVersion  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
@@ -130,13 +145,22 @@ func main() {
 		SweepInFlight:       *sweepFlight,
 		Log:                 os.Stderr,
 	}
-	if err := run(opts, *addr, *out, *drainTimeout, *cache, *persist, *cacheMax); err != nil {
+	if *keysPath != "" {
+		reg, err := tenant.Load(*keysPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cohsimd:", err)
+			os.Exit(1)
+		}
+		opts.Tenants = reg
+		fmt.Fprintf(os.Stderr, "cohsimd: authentication enabled (%d tenant(s) from %s)\n", len(reg.Tenants()), *keysPath)
+	}
+	if err := run(opts, *addr, *out, *drainTimeout, *cache, *persist, *cacheMax, *storeDir, *storeMax); err != nil {
 		fmt.Fprintln(os.Stderr, "cohsimd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts service.Options, addr, out string, drainTimeout time.Duration, cache, persist bool, cacheMax int) error {
+func run(opts service.Options, addr, out string, drainTimeout time.Duration, cache, persist bool, cacheMax int, storeDir string, storeMax int64) error {
 	manifestPath := filepath.Join(out, "manifest.json")
 	if persist {
 		if err := os.MkdirAll(out, 0o755); err != nil {
@@ -145,6 +169,16 @@ func run(opts service.Options, addr, out string, drainTimeout time.Duration, cac
 		opts.ResultsDir = filepath.Join(out, "jobs")
 	}
 	switch {
+	case storeDir != "":
+		// The shared on-disk store persists per entry and is visible to
+		// every replica pointed at the directory; the manifest snapshot
+		// under -out is not used.
+		disk, err := store.NewDisk(storeDir, storeMax)
+		if err != nil {
+			return err
+		}
+		opts.Store = disk
+		fmt.Fprintf(os.Stderr, "cohsimd: shared cell store at %s (%d entries)\n", storeDir, disk.Len())
 	case cache && persist:
 		m, err := harness.LoadManifest(manifestPath)
 		if err != nil {
@@ -159,12 +193,14 @@ func run(opts service.Options, addr, out string, drainTimeout time.Duration, cac
 	default:
 		opts.DisableCache = true
 	}
-	if opts.Manifest != nil && cacheMax > 0 {
-		opts.Manifest.SetLimit(cacheMax)
-	} else if !opts.DisableCache && cacheMax > 0 {
-		m := harness.NewManifest()
-		m.SetLimit(cacheMax)
-		opts.Manifest = m
+	if opts.Store == nil {
+		if opts.Manifest != nil && cacheMax > 0 {
+			opts.Manifest.SetLimit(cacheMax)
+		} else if !opts.DisableCache && cacheMax > 0 {
+			m := harness.NewManifest()
+			m.SetLimit(cacheMax)
+			opts.Manifest = m
+		}
 	}
 
 	svc, err := service.New(opts)

@@ -38,6 +38,7 @@ import (
 	"coherentleak/internal/experiments"
 	"coherentleak/internal/harness"
 	"coherentleak/internal/machine"
+	"coherentleak/internal/store"
 	"coherentleak/internal/version"
 )
 
@@ -57,6 +58,8 @@ func main() {
 		memprof  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 		config   = flag.String("config", "", "machine-config overrides: JSON literal or @file, merged over the defaults (same schema as the daemon's job config)")
 		cacheMax = flag.Int("cache-max", 0, "max cells kept in the manifest cache, LRU-pruned (0 = unbounded)")
+		storeDir = flag.String("store-dir", "", "shared on-disk cell store directory (one file per cell, crash-safe; replaces the manifest cache so runs and cohsimd replicas share hits)")
+		storeMax = flag.Int64("store-max-bytes", 0, "size bound on the -store-dir payload, oldest entries evicted (0 = unbounded)")
 		showVer  = flag.Bool("version", false, "print build identity and exit")
 	)
 	flag.Parse()
@@ -132,9 +135,20 @@ func main() {
 		die(err)
 	}
 
+	// The cell cache is either the shared on-disk store (-store-dir,
+	// persisted per entry, shared with any cohsimd replicas pointed at
+	// the same directory) or the historical manifest snapshot under -out.
+	var cellCache store.CellStore
 	var manifest *harness.Manifest
 	manifestPath := filepath.Join(*out, "manifest.json")
-	if *cache {
+	switch {
+	case *storeDir != "":
+		disk, derr := store.NewDisk(*storeDir, *storeMax)
+		if derr != nil {
+			die(derr)
+		}
+		cellCache = disk
+	case *cache:
 		manifest, err = harness.LoadManifest(manifestPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: starting with empty cell cache: %v\n", err)
@@ -143,6 +157,7 @@ func main() {
 		if *cacheMax > 0 {
 			manifest.SetLimit(*cacheMax)
 		}
+		cellCache = manifest
 	}
 	sinks := []harness.Sink{harness.TSVSink{Dir: *out, Log: os.Stdout}}
 	if *archive {
@@ -156,8 +171,10 @@ func main() {
 	runner := &harness.Runner{
 		Parallel: *parallel,
 		Progress: os.Stdout,
-		Manifest: manifest,
 		Sinks:    sinks,
+	}
+	if cellCache != nil {
+		runner.Manifest = cellCache
 	}
 	cfg := machine.DefaultConfig()
 	if *config != "" {
@@ -176,6 +193,7 @@ func main() {
 	}, arts)
 	// Save the manifest even on a cancelled run: completed cells are
 	// valid cache entries, so the next invocation resumes from them.
+	// (The on-disk store persists per entry and needs no save step.)
 	if manifest != nil && report != nil {
 		if serr := manifest.Save(manifestPath); serr != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", serr)

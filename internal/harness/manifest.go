@@ -1,201 +1,28 @@
 package harness
 
-import (
-	"encoding/json"
-	"fmt"
-	"os"
-	"path/filepath"
-	"sync"
-)
+import "coherentleak/internal/store"
+
+// The manifest cell-cache now lives in internal/store as the in-memory
+// implementation of the content-addressed CellStore interface (the
+// on-disk, replica-shared implementation is store.Disk). These aliases
+// keep the harness's historical names working for every existing call
+// site: a Manifest IS a store.Memory.
 
 // ManifestVersion identifies the on-disk manifest layout. A version
 // bump invalidates old caches wholesale.
-const ManifestVersion = 1
+const ManifestVersion = store.ManifestVersion
 
 // ManifestEntry is one cached cell output.
-type ManifestEntry struct {
-	// Digest hashes the inputs that produced the entry (config digest,
-	// seed, sizing, artifact, cell). A lookup only hits when it matches.
-	Digest string `json:"digest"`
-	// Rows and Summary replay the cell's output verbatim.
-	Rows    []string `json:"rows"`
-	Summary []string `json:"summary,omitempty"`
-	// WallMillis is the original execution time, reported on hits so a
-	// cached run can say how much work it skipped.
-	WallMillis float64 `json:"wallMillis"`
-}
+type ManifestEntry = store.Entry
 
-type manifestFile struct {
-	Version int                       `json:"version"`
-	Entries map[string]*ManifestEntry `json:"entries"`
-}
-
-// Manifest caches cell outputs across runs. Safe for concurrent use by
-// the Runner's workers and for sharing across daemon jobs: lookups,
-// stores and saves may all overlap.
-type Manifest struct {
-	mu      sync.Mutex
-	entries map[string]*ManifestEntry
-	// limit bounds the entry count; 0 means unbounded. When a Store
-	// would exceed it, the least-recently-used entry is evicted.
-	limit int
-	// clock is a logical recency counter; lastUse[key] holds the tick of
-	// the key's last hit or store. Recency is in-memory only — a loaded
-	// manifest starts with every entry equally old, which is fine: the
-	// first sweep over it refreshes what is live.
-	clock   uint64
-	lastUse map[string]uint64
-	// saveMu serializes Save so two jobs finishing simultaneously write
-	// whole snapshots in turn instead of racing on the temp file.
-	saveMu sync.Mutex
-}
+// Manifest is the in-memory LRU cell store with whole-snapshot
+// persistence (see store.Memory).
+type Manifest = store.Memory
 
 // NewManifest returns an empty manifest.
-func NewManifest() *Manifest {
-	return &Manifest{
-		entries: make(map[string]*ManifestEntry),
-		lastUse: make(map[string]uint64),
-	}
-}
-
-// SetLimit bounds the cache to at most n entries (0 restores unbounded
-// growth). If the manifest already holds more, the least-recently-used
-// entries are pruned immediately.
-func (m *Manifest) SetLimit(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.limit = n
-	m.pruneLocked()
-}
-
-// pruneLocked evicts least-recently-used entries until the limit holds.
-// Eviction scans for the minimum recency tick — O(n) per eviction, but
-// evictions are rare (one per Store once the cache is full) and n is
-// the cache bound itself. Ties break on the smaller key so eviction
-// order is deterministic.
-func (m *Manifest) pruneLocked() {
-	if m.limit <= 0 {
-		return
-	}
-	for len(m.entries) > m.limit {
-		var victim string
-		var oldest uint64
-		first := true
-		for k := range m.entries {
-			use := m.lastUse[k]
-			if first || use < oldest || (use == oldest && k < victim) {
-				victim, oldest, first = k, use, false
-			}
-		}
-		delete(m.entries, victim)
-		delete(m.lastUse, victim)
-	}
-}
+func NewManifest() *Manifest { return store.NewMemory() }
 
 // LoadManifest reads a manifest file. A missing file or a version
 // mismatch yields an empty manifest (the cache simply starts cold);
 // unreadable or malformed files are reported as errors.
-func LoadManifest(path string) (*Manifest, error) {
-	b, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return NewManifest(), nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("harness: manifest: %w", err)
-	}
-	var f manifestFile
-	if err := json.Unmarshal(b, &f); err != nil {
-		return nil, fmt.Errorf("harness: manifest %s: %w", path, err)
-	}
-	if f.Version != ManifestVersion || f.Entries == nil {
-		return NewManifest(), nil
-	}
-	return &Manifest{entries: f.Entries, lastUse: make(map[string]uint64, len(f.Entries))}, nil
-}
-
-// Save writes the manifest atomically: a consistent snapshot is
-// marshalled to a temp file in the destination directory, fsynced, and
-// renamed over path, so a crash mid-save (or a reader racing a writer)
-// can never observe a torn manifest. Concurrent Saves are serialized;
-// concurrent Stores continue without blocking on the disk write (they
-// land in the next Save's snapshot).
-func (m *Manifest) Save(path string) error {
-	m.saveMu.Lock()
-	defer m.saveMu.Unlock()
-
-	// Snapshot the map under the entry lock, marshal outside it so a
-	// large manifest doesn't stall the Runner's workers. Entries are
-	// immutable once stored, so sharing pointers is safe.
-	m.mu.Lock()
-	snap := make(map[string]*ManifestEntry, len(m.entries))
-	for k, e := range m.entries {
-		snap[k] = e
-	}
-	m.mu.Unlock()
-	b, err := json.MarshalIndent(manifestFile{Version: ManifestVersion, Entries: snap}, "", "  ")
-	if err != nil {
-		return fmt.Errorf("harness: manifest: %w", err)
-	}
-
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
-	if err != nil {
-		return fmt.Errorf("harness: manifest: %w", err)
-	}
-	cleanup := func(err error) error {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("harness: manifest: %w", err)
-	}
-	if _, err := tmp.Write(append(b, '\n')); err != nil {
-		return cleanup(err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return cleanup(err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("harness: manifest: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("harness: manifest: %w", err)
-	}
-	// Sync the directory so the rename itself survives a crash.
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
-		dir.Close()
-	}
-	return nil
-}
-
-// Lookup returns the cached entry for key if its input digest matches.
-func (m *Manifest) Lookup(key, digest string) (*ManifestEntry, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[key]
-	if !ok || e.Digest != digest {
-		return nil, false
-	}
-	m.clock++
-	m.lastUse[key] = m.clock
-	return e, true
-}
-
-// Store records a cell's output, replacing any stale entry. When a
-// limit is set and the cache is full, the least-recently-used entry is
-// evicted to make room.
-func (m *Manifest) Store(key string, e *ManifestEntry) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.entries[key] = e
-	m.clock++
-	m.lastUse[key] = m.clock
-	m.pruneLocked()
-}
-
-// Len reports the number of cached cells.
-func (m *Manifest) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.entries)
-}
+func LoadManifest(path string) (*Manifest, error) { return store.LoadMemory(path) }

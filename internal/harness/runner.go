@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"coherentleak/internal/store"
 )
 
 // Sink receives each artifact once its cells are assembled, in artifact
@@ -60,8 +62,10 @@ type Runner struct {
 	// lines. Nil discards them.
 	Progress io.Writer
 	// Manifest, when set, caches cell outputs across runs: a cell whose
-	// input digest matches a stored entry is not re-executed.
-	Manifest *Manifest
+	// input digest matches a stored entry is not re-executed. Any
+	// store.CellStore works here — the historical in-memory Manifest,
+	// the on-disk replica-shared store, or a future network backend.
+	Manifest store.CellStore
 	// Sinks receive every assembled artifact in artifact order.
 	Sinks []Sink
 	// Observe, when set, receives a structured callback per finished

@@ -1,0 +1,24 @@
+package loadgen
+
+import "testing"
+
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"empty", nil, 50, 0},
+		{"single", []float64{7}, 99, 7},
+		{"p50 of 4", []float64{1, 2, 3, 4}, 50, 2},
+		{"p90 of 10", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 90, 9},
+		{"p99 of 10", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 99, 10},
+		{"p100", []float64{1, 2, 3}, 100, 3},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: percentile(%v, %v) = %v, want %v", c.name, c.sorted, c.p, got, c.want)
+		}
+	}
+}

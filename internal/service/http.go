@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"coherentleak/internal/harness"
 	"coherentleak/internal/replay"
 	"coherentleak/internal/sweep"
+	"coherentleak/internal/tenant"
 	"coherentleak/internal/version"
 )
 
@@ -36,6 +38,13 @@ import (
 //	DELETE /v1/sweeps/{id}                     cancel (also POST /v1/sweeps/{id}/cancel)
 //	GET    /v1/sweeps/{id}/events              SSE per-point progress + frontier updates
 //	GET    /v1/sweeps/{id}/frontier.tsv        ranked frontier (deterministic bytes)
+//	GET    /v1/tenants/self                    the caller's quota and live usage
+//
+// When a tenant registry with keys is loaded, every job, sweep and
+// tenant route requires "Authorization: Bearer <key>" and each tenant
+// sees only its own jobs and sweeps; infrastructure routes (healthz,
+// metrics, version, the read-only artifact/protocol listings, and the
+// worker-fleet protocol) stay open.
 //
 // When dispatch is enabled the worker-fleet protocol mounts alongside:
 // POST/GET /v1/workers, DELETE /v1/workers/{id}, and the per-worker
@@ -61,14 +70,85 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps/{id}/cancel", s.handleSweepCancel)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("GET /v1/sweeps/{id}/frontier.tsv", s.handleSweepFrontier)
+	mux.HandleFunc("GET /v1/tenants/self", s.handleTenantSelf)
 	if s.fleet != nil {
 		s.fleet.Routes(mux)
 	}
-	return mux
+	return s.withAuth(mux)
+}
+
+// tenantKey carries the authenticated tenant in the request context.
+type tenantKey struct{}
+
+// withAuth authenticates tenant-scoped requests against the registry
+// and stows the caller's tenant in the request context. In anonymous
+// mode (no keys file) every request authenticates as the anonymous
+// tenant, preserving the open pre-tenant API.
+func (s *Service) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if authExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		tn, err := s.opts.Tenants.Authenticate(r.Header.Get("Authorization"))
+		if err != nil {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="cohsimd"`)
+			writeJSON(w, http.StatusUnauthorized, apiError{Error: err.Error()})
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, tn)))
+	})
+}
+
+// authExempt lists the infrastructure surface that stays open when
+// authentication is on: liveness, metrics scraping, build identity,
+// the read-only artifact/protocol listings, and the worker-fleet
+// protocol (workers are operator-deployed infrastructure, not
+// tenants).
+func authExempt(path string) bool {
+	switch path {
+	case "/healthz", "/metrics", "/v1/version", "/v1/artifacts", "/v1/protocols":
+		return true
+	}
+	return strings.HasPrefix(path, "/v1/workers")
+}
+
+// tenantOf returns the request's authenticated tenant. The middleware
+// installs it for every non-exempt route; the fallback covers direct
+// handler invocations in tests.
+func (s *Service) tenantOf(r *http.Request) *tenant.Tenant {
+	if tn, ok := r.Context().Value(tenantKey{}).(*tenant.Tenant); ok {
+		return tn
+	}
+	return s.fallbackTenant()
 }
 
 type apiError struct {
 	Error string `json:"error"`
+}
+
+// admissionError is the 429 body: the caller's own queue depth and a
+// Retry-After derived from that tenant's backlog, not the global
+// queue — under fair queueing another tenant's pile-up says nothing
+// about how long this caller must wait.
+type admissionError struct {
+	Error             string `json:"error"`
+	Tenant            string `json:"tenant"`
+	QueueDepth        int    `json:"queueDepth"`
+	RetryAfterSeconds int    `json:"retryAfterSeconds"`
+}
+
+// writeAdmissionError renders a 429 with the per-tenant Retry-After in
+// both the header and the body.
+func (s *Service) writeAdmissionError(w http.ResponseWriter, tn *tenant.Tenant, err error) {
+	retry := retryAfterSeconds(s.RetryAfterTenant(tn.Name))
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeJSON(w, http.StatusTooManyRequests, admissionError{
+		Error:             err.Error(),
+		Tenant:            tn.Name,
+		QueueDepth:        s.QueueDepth(tn.Name),
+		RetryAfterSeconds: retry,
+	})
 }
 
 // retryAfterSeconds renders a Retry-After hint, rounding UP: truncation
@@ -184,11 +264,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "request body: " + err.Error()})
 		return
 	}
-	job, err := s.Submit(&req)
+	tn := s.tenantOf(r)
+	job, err := s.SubmitAs(tn, &req)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQuota):
+		s.writeAdmissionError(w, tn, err)
 		return
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
@@ -203,11 +283,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.JobViews()})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.JobViewsFor(s.tenantOf(r))})
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.JobView(r.PathValue("id"))
+	v, ok := s.JobViewFor(s.tenantOf(r), r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
 		return
@@ -217,12 +297,18 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.Cancel(id) {
+	if !s.CancelFor(s.tenantOf(r), id) {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
 		return
 	}
 	v, _ := s.JobView(id)
 	writeJSON(w, http.StatusOK, v)
+}
+
+// handleTenantSelf reports the caller's identity, quotas and live
+// usage — what a client consults to understand its own 429s.
+func (s *Service) handleTenantSelf(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.TenantSelf(s.tenantOf(r)))
 }
 
 // handleEvents streams a job's progress as Server-Sent Events. The
@@ -232,7 +318,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 // (the standard SSE header, mirroring the id: field we emit) and
 // resumes from the next event instead of replaying the full history.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
-	history, ch, unsub, ok := s.Subscribe(r.PathValue("id"))
+	history, ch, unsub, ok := s.SubscribeFor(s.tenantOf(r), r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
 		return
@@ -316,8 +402,12 @@ func (s *Service) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "request body: " + err.Error()})
 		return
 	}
-	sw, err := s.SubmitSweep(spec)
+	tn := s.tenantOf(r)
+	sw, err := s.SubmitSweepAs(tn, spec)
 	switch {
+	case errors.Is(err, ErrQuota):
+		s.writeAdmissionError(w, tn, err)
+		return
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		return
@@ -331,11 +421,11 @@ func (s *Service) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSweeps(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"sweeps": s.SweepViews()})
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": s.SweepViewsFor(s.tenantOf(r))})
 }
 
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.SweepView(r.PathValue("id"))
+	v, ok := s.SweepViewFor(s.tenantOf(r), r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
 		return
@@ -345,7 +435,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.CancelSweep(id) {
+	if !s.CancelSweepFor(s.tenantOf(r), id) {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
 		return
 	}
@@ -357,7 +447,7 @@ func (s *Service) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 // notices, frontier updates) over SSE with the same history-replay and
 // Last-Event-ID resume semantics as job streams.
 func (s *Service) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
-	history, ch, unsub, ok := s.SubscribeSweep(r.PathValue("id"))
+	history, ch, unsub, ok := s.SubscribeSweepFor(s.tenantOf(r), r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
 		return
@@ -372,7 +462,7 @@ func (s *Service) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 // bytes are deterministic for a fixed spec + seed regardless of how the
 // points were scheduled.
 func (s *Service) handleSweepFrontier(w http.ResponseWriter, r *http.Request) {
-	tsv, ok := s.SweepFrontierTSV(r.PathValue("id"))
+	tsv, ok := s.SweepFrontierTSVFor(s.tenantOf(r), r.PathValue("id"))
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown sweep"})
 		return
@@ -391,9 +481,10 @@ func (s *Service) handleDownload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "want <artifact>.tsv or <artifact>.json"})
 		return
 	}
-	res, found := s.Result(id, name)
+	tn := s.tenantOf(r)
+	res, found := s.ResultFor(tn, id, name)
 	if !found {
-		if _, jobExists := s.Job(id); !jobExists {
+		if _, jobExists := s.JobViewFor(tn, id); !jobExists {
 			writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
 		} else {
 			writeJSON(w, http.StatusNotFound, apiError{Error: "no assembled result for artifact " + name + " (job still running, cancelled early, or artifact not requested)"})

@@ -68,7 +68,10 @@ const subEventBuffer = 512
 // Job is one admitted experiment run.
 type Job struct {
 	// Immutable after Submit.
-	ID        string
+	ID string
+	// Tenant names the owning tenant; only that tenant's requests can
+	// see or cancel the job ("anonymous" when auth is disabled).
+	Tenant    string
 	Artifacts []string
 	Plan      harness.Plan
 	Timeout   time.Duration
@@ -115,6 +118,7 @@ type ArtifactView struct {
 type View struct {
 	ID           string         `json:"id"`
 	State        State          `json:"state"`
+	Tenant       string         `json:"tenant,omitempty"`
 	Artifacts    []string       `json:"artifacts"`
 	Seed         uint64         `json:"seed"`
 	Sizing       string         `json:"sizing"`
@@ -133,6 +137,7 @@ func (j *Job) view() View {
 	v := View{
 		ID:           j.ID,
 		State:        j.state,
+		Tenant:       j.Tenant,
 		Artifacts:    j.Artifacts,
 		Seed:         j.Plan.Seed,
 		Sizing:       string(j.Plan.Sizing),

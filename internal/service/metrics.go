@@ -30,6 +30,11 @@ type Metrics struct {
 	cellsCached   uint64
 	cellsFailed   uint64
 
+	// Per-tenant series: admissions, 429s by reason, and cell outcomes.
+	tenantAccepted map[string]uint64
+	tenantRejected map[string]map[string]uint64 // tenant -> reason
+	tenantCells    map[string]*tenantCellCounts
+
 	jobSeconds  *histogram
 	cellSeconds map[string]*histogram // per artifact
 
@@ -49,6 +54,13 @@ type workerCellCounts struct {
 	failed uint64
 }
 
+// tenantCellCounts splits one tenant's cells by outcome.
+type tenantCellCounts struct {
+	executed uint64
+	cached   uint64
+	failed   uint64
+}
+
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
@@ -58,6 +70,9 @@ func NewMetrics() *Metrics {
 		cellSeconds:     make(map[string]*histogram),
 		workerCells:     make(map[string]*workerCellCounts),
 		dispatchSeconds: newHistogram(cellBuckets),
+		tenantAccepted:  make(map[string]uint64),
+		tenantRejected:  make(map[string]map[string]uint64),
+		tenantCells:     make(map[string]*tenantCellCounts),
 	}
 }
 
@@ -107,6 +122,45 @@ func (m *Metrics) JobFinished(state State, seconds float64) {
 	defer m.mu.Unlock()
 	m.jobsByState[state]++
 	m.jobSeconds.observe(seconds)
+}
+
+// TenantJobAccepted counts an admitted job against its tenant.
+func (m *Metrics) TenantJobAccepted(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenantAccepted[tenant]++
+}
+
+// TenantJobRejected counts a 429 against its tenant. Reason is
+// "queue-full" (global admission) or "quota" (the tenant's own limit).
+func (m *Metrics) TenantJobRejected(tenant, reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byReason, ok := m.tenantRejected[tenant]
+	if !ok {
+		byReason = make(map[string]uint64)
+		m.tenantRejected[tenant] = byReason
+	}
+	byReason[reason]++
+}
+
+// TenantCell counts one finished cell against its tenant.
+func (m *Metrics) TenantCell(tenant string, cached, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.tenantCells[tenant]
+	if !ok {
+		c = &tenantCellCounts{}
+		m.tenantCells[tenant] = c
+	}
+	switch {
+	case failed:
+		c.failed++
+	case cached:
+		c.cached++
+	default:
+		c.executed++
+	}
 }
 
 // SweepAccepted counts an admitted sweep.
@@ -246,6 +300,8 @@ type Gauges struct {
 	WorkersLive        int
 	LeasesInFlight     int
 	DispatchQueueDepth int
+	// TenantQueueDepth samples each tenant's fair-queue lane.
+	TenantQueueDepth map[string]int
 }
 
 // WriteTo renders every series. Gauges come from the caller so the
@@ -285,6 +341,50 @@ func (m *Metrics) WriteTo(w io.Writer, g Gauges) {
 		ratio = float64(m.cellsCached) / float64(n)
 	}
 	fmt.Fprintf(w, "# HELP cohsimd_cell_cache_hit_ratio Manifest cache hits over completed cells.\n# TYPE cohsimd_cell_cache_hit_ratio gauge\ncohsimd_cell_cache_hit_ratio %g\n", ratio)
+
+	tenantNames := make(map[string]bool)
+	for n := range m.tenantAccepted {
+		tenantNames[n] = true
+	}
+	for n := range m.tenantRejected {
+		tenantNames[n] = true
+	}
+	for n := range m.tenantCells {
+		tenantNames[n] = true
+	}
+	for n := range g.TenantQueueDepth {
+		tenantNames[n] = true
+	}
+	tenants := make([]string, 0, len(tenantNames))
+	for n := range tenantNames {
+		tenants = append(tenants, n)
+	}
+	sort.Strings(tenants)
+
+	fmt.Fprintf(w, "# HELP cohsimd_tenant_jobs_accepted_total Jobs admitted per tenant.\n# TYPE cohsimd_tenant_jobs_accepted_total counter\n")
+	for _, n := range tenants {
+		fmt.Fprintf(w, "cohsimd_tenant_jobs_accepted_total{tenant=%q} %d\n", n, m.tenantAccepted[n])
+	}
+	fmt.Fprintf(w, "# HELP cohsimd_tenant_jobs_rejected_total 429s per tenant by reason (queue-full or quota).\n# TYPE cohsimd_tenant_jobs_rejected_total counter\n")
+	for _, n := range tenants {
+		for _, reason := range []string{"queue-full", "quota"} {
+			fmt.Fprintf(w, "cohsimd_tenant_jobs_rejected_total{tenant=%q,reason=%q} %d\n", n, reason, m.tenantRejected[n][reason])
+		}
+	}
+	fmt.Fprintf(w, "# HELP cohsimd_tenant_cells_total Cells run per tenant by outcome.\n# TYPE cohsimd_tenant_cells_total counter\n")
+	for _, n := range tenants {
+		c := m.tenantCells[n]
+		if c == nil {
+			c = &tenantCellCounts{}
+		}
+		fmt.Fprintf(w, "cohsimd_tenant_cells_total{tenant=%q,outcome=\"executed\"} %d\n", n, c.executed)
+		fmt.Fprintf(w, "cohsimd_tenant_cells_total{tenant=%q,outcome=\"cached\"} %d\n", n, c.cached)
+		fmt.Fprintf(w, "cohsimd_tenant_cells_total{tenant=%q,outcome=\"failed\"} %d\n", n, c.failed)
+	}
+	fmt.Fprintf(w, "# HELP cohsimd_tenant_queue_depth Jobs waiting on each tenant's fair-queue lane.\n# TYPE cohsimd_tenant_queue_depth gauge\n")
+	for _, n := range tenants {
+		fmt.Fprintf(w, "cohsimd_tenant_queue_depth{tenant=%q} %d\n", n, g.TenantQueueDepth[n])
+	}
 
 	fmt.Fprintf(w, "# HELP cohsimd_workers_joined_total Workers registered with the fleet.\n# TYPE cohsimd_workers_joined_total counter\ncohsimd_workers_joined_total %d\n", m.workersJoined)
 	fmt.Fprintf(w, "# HELP cohsimd_workers_left_total Workers deregistered or expired.\n# TYPE cohsimd_workers_left_total counter\ncohsimd_workers_left_total %d\n", m.workersLeft)

@@ -23,6 +23,8 @@ import (
 	"coherentleak/internal/dispatch"
 	"coherentleak/internal/harness"
 	"coherentleak/internal/machine"
+	"coherentleak/internal/store"
+	"coherentleak/internal/tenant"
 )
 
 // Options configures a Service. Zero values pick sane defaults.
@@ -37,6 +39,15 @@ type Options struct {
 	// ManifestPath, when set, persists the manifest after every job and
 	// on shutdown (atomic temp-file + rename).
 	ManifestPath string
+	// Store, when set, replaces Manifest as the shared cell cache —
+	// typically a store.Disk so several cohsimd replicas pointed at one
+	// directory share hits. It persists its own entries, so
+	// ManifestPath is ignored.
+	Store store.CellStore
+	// Tenants enables API-key authentication, per-tenant quotas and
+	// weighted fair queueing. Nil means anonymous mode: every caller is
+	// one unbounded tenant and behavior matches the pre-tenant daemon.
+	Tenants *tenant.Registry
 	// QueueDepth bounds the admission queue; <=0 means 16.
 	QueueDepth int
 	// Executors is the number of jobs run concurrently; <=0 means 1
@@ -90,6 +101,13 @@ func (o Options) withDefaults() Options {
 	if o.Manifest == nil {
 		o.Manifest = harness.NewManifest()
 	}
+	if o.Store != nil {
+		// The store persists per entry; a manifest snapshot would shadow it.
+		o.ManifestPath = ""
+	}
+	if o.Tenants == nil {
+		o.Tenants = tenant.Open()
+	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 16
 	}
@@ -116,6 +134,10 @@ var (
 	// ErrQueueFull rejects a submit when the bounded queue is at
 	// capacity (HTTP 429 + Retry-After).
 	ErrQueueFull = errors.New("service: job queue full")
+	// ErrQuota rejects a submit that would push the caller's tenant past
+	// one of its quotas (HTTP 429 + Retry-After derived from that
+	// tenant's own backlog).
+	ErrQuota = errors.New("tenant quota exceeded")
 	// ErrDraining rejects submits during graceful shutdown (HTTP 503).
 	ErrDraining = errors.New("service: shutting down")
 	// errCancelled is the cancel cause for client cancellation.
@@ -133,14 +155,22 @@ type Service struct {
 	// when Options.DisableDispatch is set.
 	fleet *dispatch.Fleet
 
+	// cache is the shared cell store every job consults: Options.Store
+	// when set, the manifest otherwise.
+	cache store.CellStore
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
-	queue    chan *Job
+	queue    *tenant.FairQueue[*Job]
 	queued   int // jobs admitted but not yet picked up
 	running  int
 	draining bool
 	seq      int
+	// usage tracks per-tenant live load for quota checks and the
+	// /v1/tenants/self endpoint. Lock order is always s.mu before the
+	// fair queue's internal lock, never the reverse.
+	usage map[string]*tenantUsage
 
 	// Sweep table, mirrored after the job table. sweepGate bounds the
 	// number of sweeps running at once; submitted sweeps beyond the
@@ -168,9 +198,14 @@ func New(opts Options) (*Service, error) {
 		opts:      opts,
 		metrics:   NewMetrics(),
 		jobs:      make(map[string]*Job),
-		queue:     make(chan *Job, opts.QueueDepth),
+		queue:     tenant.NewFairQueue[*Job](opts.QueueDepth),
+		usage:     make(map[string]*tenantUsage),
 		sweeps:    make(map[string]*Sweep),
 		sweepGate: make(chan struct{}, opts.MaxSweeps),
+	}
+	s.cache = opts.Store
+	if s.cache == nil {
+		s.cache = opts.Manifest
 	}
 	if !opts.DisableDispatch {
 		s.fleet = dispatch.NewFleet(dispatch.Options{
@@ -199,6 +234,43 @@ func (s *Service) Metrics() *Metrics { return s.metrics }
 // Manifest exposes the shared cell cache (read-mostly: tests and the
 // metrics endpoint ask for its size).
 func (s *Service) Manifest() *harness.Manifest { return s.opts.Manifest }
+
+// Store exposes the cell store jobs actually consult (Options.Store
+// when set, the manifest otherwise).
+func (s *Service) Store() store.CellStore { return s.cache }
+
+// Tenants exposes the tenant registry.
+func (s *Service) Tenants() *tenant.Registry { return s.opts.Tenants }
+
+// tenantUsage is one tenant's live load, guarded by s.mu.
+type tenantUsage struct {
+	queued  int // jobs admitted and waiting for an executor
+	running int // jobs executing
+	// pointsPending counts sweep points expanded but not yet finished
+	// across the tenant's active sweeps (the MaxQueuedPoints quota).
+	pointsPending int
+	sweepsActive  int
+}
+
+// usageLocked returns (creating on first use) a tenant's usage record.
+// Caller holds s.mu.
+func (s *Service) usageLocked(name string) *tenantUsage {
+	u, ok := s.usage[name]
+	if !ok {
+		u = &tenantUsage{}
+		s.usage[name] = u
+	}
+	return u
+}
+
+// fallbackTenant is the principal for direct Go-API submissions
+// (tests, in-process tooling) that bypass HTTP authentication.
+func (s *Service) fallbackTenant() *tenant.Tenant {
+	if t := s.opts.Tenants.Anonymous(); t != nil {
+		return t
+	}
+	return &tenant.Tenant{Name: tenant.AnonymousName, Weight: 1}
+}
 
 func (s *Service) logf(format string, args ...any) {
 	if s.opts.Log != nil {
@@ -277,9 +349,19 @@ func (s *Service) buildPlan(req *SubmitRequest) (harness.Plan, []*harness.Artifa
 	return harness.Plan{Cfg: cfg, Seed: seed, Sizing: sizing}, arts, timeout, nil
 }
 
-// Submit validates and enqueues a job. ErrQueueFull and ErrDraining are
-// admission failures; other errors are invalid requests.
+// Submit validates and enqueues a job on the anonymous tenant's
+// behalf. ErrQueueFull and ErrDraining are admission failures; other
+// errors are invalid requests.
 func (s *Service) Submit(req *SubmitRequest) (*Job, error) {
+	return s.SubmitAs(s.fallbackTenant(), req)
+}
+
+// SubmitAs validates and enqueues a job owned by tn: the tenant's
+// MaxInFlight quota is checked, then the job lands on the tenant's
+// fair-queue lane so one tenant's backlog cannot head-of-line-block
+// another's. ErrQueueFull, ErrQuota and ErrDraining are admission
+// failures; other errors are invalid requests.
+func (s *Service) SubmitAs(tn *tenant.Tenant, req *SubmitRequest) (*Job, error) {
 	plan, arts, timeout, err := s.buildPlan(req)
 	if err != nil {
 		return nil, err
@@ -294,9 +376,17 @@ func (s *Service) Submit(req *SubmitRequest) (*Job, error) {
 	if s.draining {
 		return nil, ErrDraining
 	}
+	u := s.usageLocked(tn.Name)
+	if tn.MaxInFlight > 0 && u.queued+u.running >= tn.MaxInFlight {
+		s.metrics.JobRejected()
+		s.metrics.TenantJobRejected(tn.Name, "quota")
+		return nil, fmt.Errorf("%w: tenant %s has %d job(s) in flight (maxInFlight %d)",
+			ErrQuota, tn.Name, u.queued+u.running, tn.MaxInFlight)
+	}
 	s.seq++
 	job := &Job{
 		ID:        fmt.Sprintf("job-%06d", s.seq),
+		Tenant:    tn.Name,
 		Artifacts: names,
 		Plan:      plan,
 		Timeout:   timeout,
@@ -305,18 +395,19 @@ func (s *Service) Submit(req *SubmitRequest) (*Job, error) {
 		results:   make(map[string]*harness.ArtifactResult),
 		stream:    newEventLog[Event](subEventBuffer, s.metrics.SSEEvicted),
 	}
-	select {
-	case s.queue <- job:
-	default:
+	if err := s.queue.Push(tn.Name, tn.Weight, job); err != nil {
 		s.metrics.JobRejected()
+		s.metrics.TenantJobRejected(tn.Name, "queue-full")
 		return nil, ErrQueueFull
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.queued++
+	u.queued++
 	s.metrics.JobAccepted()
+	s.metrics.TenantJobAccepted(tn.Name)
 	job.publish(Event{Type: "state", State: StateQueued})
-	s.logf("%s queued: %v seed=%d sizing=%s timeout=%s", job.ID, names, plan.Seed, plan.Sizing, timeout)
+	s.logf("%s queued (tenant %s): %v seed=%d sizing=%s timeout=%s", job.ID, tn.Name, names, plan.Seed, plan.Sizing, timeout)
 	return job, nil
 }
 
@@ -328,6 +419,24 @@ func (s *Service) RetryAfter() time.Duration {
 	backlog := s.queued + s.running
 	executors := s.opts.Executors
 	s.mu.Unlock()
+	return s.retryEstimate(backlog, executors)
+}
+
+// RetryAfterTenant estimates the wait for one tenant from that
+// tenant's own backlog, not the global queue: under fair queueing a
+// lightly-loaded tenant rejected because another tenant filled the
+// queue drains near the front, so telling it to wait for the whole
+// global backlog would be wildly pessimistic.
+func (s *Service) RetryAfterTenant(name string) time.Duration {
+	s.mu.Lock()
+	u := s.usageLocked(name)
+	backlog := u.queued + u.running
+	executors := s.opts.Executors
+	s.mu.Unlock()
+	return s.retryEstimate(backlog, executors)
+}
+
+func (s *Service) retryEstimate(backlog, executors int) time.Duration {
 	avg := s.metrics.AvgJobSeconds()
 	if avg <= 0 {
 		avg = 1
@@ -340,6 +449,50 @@ func (s *Service) RetryAfter() time.Duration {
 		est = time.Minute
 	}
 	return est
+}
+
+// QueueDepth reports one tenant's queued (not yet running) jobs — the
+// number a rejected client sees in its 429 body.
+func (s *Service) QueueDepth(tenantName string) int {
+	return s.queue.Depth(tenantName)
+}
+
+// TenantUsageView is a tenant's live load in /v1/tenants/self.
+type TenantUsageView struct {
+	JobsQueued    int `json:"jobsQueued"`
+	JobsRunning   int `json:"jobsRunning"`
+	PointsPending int `json:"pointsPending"`
+	SweepsActive  int `json:"sweepsActive"`
+}
+
+// TenantSelfView is the GET /v1/tenants/self body: the caller's
+// identity, configured quota and live usage. The API key is never
+// echoed back.
+type TenantSelfView struct {
+	Name        string          `json:"name"`
+	Weight      int             `json:"weight"`
+	AuthEnabled bool            `json:"authEnabled"`
+	Quotas      tenant.Quotas   `json:"quotas"`
+	Usage       TenantUsageView `json:"usage"`
+}
+
+// TenantSelf renders one tenant's quota and live usage.
+func (s *Service) TenantSelf(tn *tenant.Tenant) TenantSelfView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.usageLocked(tn.Name)
+	return TenantSelfView{
+		Name:        tn.Name,
+		Weight:      tn.Weight,
+		AuthEnabled: s.opts.Tenants.Enabled(),
+		Quotas:      tn.Quotas,
+		Usage: TenantUsageView{
+			JobsQueued:    u.queued,
+			JobsRunning:   u.running,
+			PointsPending: u.pointsPending,
+			SweepsActive:  u.sweepsActive,
+		},
+	}
 }
 
 // Job looks up one job by ID.
@@ -361,6 +514,19 @@ func (s *Service) JobViews() []View {
 	return out
 }
 
+// JobViewsFor lists one tenant's jobs in submission order.
+func (s *Service) JobViewsFor(tn *tenant.Tenant) []View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]View, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.Tenant == tn.Name {
+			out = append(out, j.view())
+		}
+	}
+	return out
+}
+
 // JobView renders one job.
 func (s *Service) JobView(id string) (View, bool) {
 	s.mu.Lock()
@@ -370,6 +536,57 @@ func (s *Service) JobView(id string) (View, bool) {
 		return View{}, false
 	}
 	return j.view(), true
+}
+
+// JobViewFor renders one job if tn owns it. A job owned by another
+// tenant reports not-found, indistinguishable from a job that does not
+// exist, so IDs cannot be probed across tenants.
+func (s *Service) JobViewFor(tn *tenant.Tenant, id string) (View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.Tenant != tn.Name {
+		return View{}, false
+	}
+	return j.view(), true
+}
+
+// ResultFor returns one artifact of a job tn owns.
+func (s *Service) ResultFor(tn *tenant.Tenant, id, artifact string) (*harness.ArtifactResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.Tenant != tn.Name {
+		return nil, false
+	}
+	res, ok := j.results[artifact]
+	return res, ok
+}
+
+// CancelFor cancels a job tn owns (other tenants' jobs look unknown).
+func (s *Service) CancelFor(tn *tenant.Tenant, id string) bool {
+	s.mu.Lock()
+	owned := false
+	if j, ok := s.jobs[id]; ok && j.Tenant == tn.Name {
+		owned = true
+	}
+	s.mu.Unlock()
+	if !owned {
+		return false
+	}
+	return s.Cancel(id)
+}
+
+// SubscribeFor is Subscribe restricted to jobs tn owns.
+func (s *Service) SubscribeFor(tn *tenant.Tenant, id string) (history []Event, ch chan Event, cancel func(), ok bool) {
+	s.mu.Lock()
+	j, found := s.jobs[id]
+	owned := found && j.Tenant == tn.Name
+	s.mu.Unlock()
+	if !owned {
+		return nil, nil, nil, false
+	}
+	return s.Subscribe(id)
 }
 
 // Result returns one job's assembled artifact by name.
@@ -427,11 +644,12 @@ func (s *Service) Subscribe(id string) (history []Event, ch chan Event, cancel f
 func (s *Service) Gauges() Gauges {
 	s.mu.Lock()
 	g := Gauges{
-		JobsQueued:      s.queued,
-		JobsRunning:     s.running,
-		QueueCapacity:   s.opts.QueueDepth,
-		ManifestEntries: s.opts.Manifest.Len(),
-		SweepsRunning:   s.sweepsRunning,
+		JobsQueued:       s.queued,
+		JobsRunning:      s.running,
+		QueueCapacity:    s.opts.QueueDepth,
+		ManifestEntries:  s.cache.Len(),
+		SweepsRunning:    s.sweepsRunning,
+		TenantQueueDepth: s.queue.Depths(),
 	}
 	for _, id := range s.sweepOrder {
 		if s.sweeps[id].state == StateQueued {
@@ -478,10 +696,14 @@ func suffixIf(msg string) string {
 	return ": " + msg
 }
 
-// executor drains the queue until Shutdown closes it.
+// executor pops fair-queued jobs until Shutdown closes the queue.
 func (s *Service) executor() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
+		job, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
 		s.runJob(job)
 	}
 }
@@ -490,6 +712,7 @@ func (s *Service) executor() {
 func (s *Service) runJob(j *Job) {
 	s.mu.Lock()
 	s.queued--
+	s.usageLocked(j.Tenant).queued--
 	if j.state.Terminal() {
 		// Cancelled while queued.
 		s.mu.Unlock()
@@ -507,18 +730,19 @@ func (s *Service) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	s.running++
+	s.usageLocked(j.Tenant).running++
 	j.publish(Event{Type: "state", State: StateRunning})
 	s.mu.Unlock()
 	defer tcancel()
 	defer cancel(nil)
 
-	manifest := s.opts.Manifest
-	if s.opts.DisableCache {
-		manifest = nil
+	var cache store.CellStore
+	if !s.opts.DisableCache {
+		cache = s.cache
 	}
 	runner := &harness.Runner{
 		Parallel: s.opts.CellParallel,
-		Manifest: manifest,
+		Manifest: cache,
 		Observe: func(done, total int, rep harness.CellReport) {
 			s.observeCell(j, done, total, rep)
 		},
@@ -552,6 +776,7 @@ func (s *Service) runJob(j *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running--
+	s.usageLocked(j.Tenant).running--
 	j.report = report
 	if report != nil {
 		for _, res := range report.Results {
@@ -579,6 +804,7 @@ func (s *Service) runJob(j *Job) {
 func (s *Service) observeCell(j *Job, done, total int, rep harness.CellReport) {
 	sec := rep.Wall.Seconds()
 	s.metrics.CellFinished(rep.Artifact, rep.Cached, rep.Err != nil, sec)
+	s.metrics.TenantCell(j.Tenant, rep.Cached, rep.Err != nil)
 	ev := Event{Type: "cell", Cell: &CellEvent{
 		Artifact:   rep.Artifact,
 		Cell:       rep.Cell,
@@ -631,7 +857,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.draining = true
-	close(s.queue)
+	s.queue.Close()
 	// Sweeps are long-lived by design, so graceful drain cancels them
 	// outright: their in-flight jobs cancel, queued points never run.
 	for _, id := range s.sweepOrder {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"coherentleak/internal/sweep"
+	"coherentleak/internal/tenant"
 )
 
 // sweepEventBuffer bounds a sweep subscriber's unread backlog. Sweeps
@@ -68,9 +69,16 @@ type FrontierRow struct {
 // Sweep is one admitted parameter sweep. Mutable state is guarded by
 // the owning Service's mu, mirroring Job.
 type Sweep struct {
-	ID      string
+	ID string
+	// Tenant names the owning tenant; its points are submitted on that
+	// tenant's fair-queue lane and count against its quotas.
+	Tenant  string
 	Spec    sweep.Spec
 	Created time.Time
+
+	// owner carries the tenant's weight and quotas into point
+	// submissions.
+	owner *tenant.Tenant
 
 	cancel context.CancelCauseFunc
 
@@ -101,6 +109,7 @@ type SweepPointsView struct {
 type SweepView struct {
 	ID         string           `json:"id"`
 	State      State            `json:"state"`
+	Tenant     string           `json:"tenant,omitempty"`
 	Name       string           `json:"name,omitempty"`
 	Artifacts  []string         `json:"artifacts,omitempty"`
 	Strategy   string           `json:"strategy"`
@@ -174,6 +183,7 @@ func (sw *Sweep) view() SweepView {
 	v := SweepView{
 		ID:          sw.ID,
 		State:       sw.state,
+		Tenant:      sw.Tenant,
 		Name:        sw.Spec.Name,
 		Artifacts:   sw.Spec.Artifacts,
 		Strategy:    strategy,
@@ -204,11 +214,21 @@ func (sw *Sweep) publish(ev SweepEvent) {
 	sw.stream.publish(ev, ev.Type == "state" && ev.State.Terminal())
 }
 
-// SubmitSweep validates and launches a sweep. The whole grid is
-// expanded and every point's config is dry-run through plan building
-// up front, so a typo'd axis path or over-budget grid fails the submit
-// (HTTP 400) instead of failing hundreds of points later.
+// SubmitSweep validates and launches a sweep on the anonymous
+// tenant's behalf.
 func (s *Service) SubmitSweep(spec sweep.Spec) (*Sweep, error) {
+	return s.SubmitSweepAs(s.fallbackTenant(), spec)
+}
+
+// SubmitSweepAs validates and launches a sweep owned by tn. The whole
+// grid is expanded and every point's config is dry-run through plan
+// building up front, so a typo'd axis path or over-budget grid fails
+// the submit (HTTP 400) instead of failing hundreds of points later.
+// The tenant's SweepBudget caps the expanded point count (a client
+// error: resubmitting the same grid can never succeed), and
+// MaxQueuedPoints caps pending points across its active sweeps
+// (ErrQuota, an admission failure worth retrying).
+func (s *Service) SubmitSweepAs(tn *tenant.Tenant, spec sweep.Spec) (*Sweep, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -225,6 +245,10 @@ func (s *Service) SubmitSweep(spec sweep.Spec) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tn.SweepBudget > 0 && len(points) > tn.SweepBudget {
+		return nil, fmt.Errorf("sweep: %d point(s) exceed tenant %s's sweep budget of %d",
+			len(points), tn.Name, tn.SweepBudget)
+	}
 	for _, pt := range points {
 		req := s.sweepPointRequest(spec, pt)
 		if _, _, _, err := s.buildPlan(req); err != nil {
@@ -237,20 +261,29 @@ func (s *Service) SubmitSweep(spec sweep.Spec) (*Sweep, error) {
 	if s.draining {
 		return nil, ErrDraining
 	}
+	u := s.usageLocked(tn.Name)
+	if tn.MaxQueuedPoints > 0 && u.pointsPending+len(points) > tn.MaxQueuedPoints {
+		return nil, fmt.Errorf("%w: tenant %s has %d pending sweep point(s); %d more would exceed maxQueuedPoints %d",
+			ErrQuota, tn.Name, u.pointsPending, len(points), tn.MaxQueuedPoints)
+	}
 	s.sweepSeq++
 	sw := &Sweep{
 		ID:      fmt.Sprintf("sweep-%06d", s.sweepSeq),
+		Tenant:  tn.Name,
 		Spec:    spec,
 		Created: time.Now(),
+		owner:   tn,
 		state:   StateQueued,
 		total:   len(points),
 		stream:  newEventLog[SweepEvent](sweepEventBuffer, s.metrics.SSEEvicted),
 	}
+	u.pointsPending += len(points)
+	u.sweepsActive++
 	s.sweeps[sw.ID] = sw
 	s.sweepOrder = append(s.sweepOrder, sw.ID)
 	s.metrics.SweepAccepted()
 	sw.publish(SweepEvent{Type: "state", State: StateQueued, Total: sw.total})
-	s.logf("%s queued: %d point(s) over %v, objective %s", sw.ID, len(points), spec.AxisNames(), spec.Objective.Column)
+	s.logf("%s queued (tenant %s): %d point(s) over %v, objective %s", sw.ID, tn.Name, len(points), spec.AxisNames(), spec.Objective.Column)
 	s.sweepWG.Add(1)
 	go s.runSweep(sw)
 	return sw, nil
@@ -307,6 +340,63 @@ func (s *Service) SweepView(id string) (SweepView, bool) {
 		return SweepView{}, false
 	}
 	return sw.view(), true
+}
+
+// SweepViewsFor lists one tenant's sweeps in submission order.
+func (s *Service) SweepViewsFor(tn *tenant.Tenant) []SweepView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SweepView, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		if sw := s.sweeps[id]; sw.Tenant == tn.Name {
+			out = append(out, sw.view())
+		}
+	}
+	return out
+}
+
+// SweepViewFor renders one sweep if tn owns it; other tenants' sweeps
+// report not-found so IDs cannot be probed across tenants.
+func (s *Service) SweepViewFor(tn *tenant.Tenant, id string) (SweepView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok || sw.Tenant != tn.Name {
+		return SweepView{}, false
+	}
+	return sw.view(), true
+}
+
+// ownsSweep reports whether tn owns the sweep.
+func (s *Service) ownsSweep(tn *tenant.Tenant, id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return ok && sw.Tenant == tn.Name
+}
+
+// CancelSweepFor cancels a sweep tn owns.
+func (s *Service) CancelSweepFor(tn *tenant.Tenant, id string) bool {
+	if !s.ownsSweep(tn, id) {
+		return false
+	}
+	return s.CancelSweep(id)
+}
+
+// SubscribeSweepFor is SubscribeSweep restricted to sweeps tn owns.
+func (s *Service) SubscribeSweepFor(tn *tenant.Tenant, id string) (history []SweepEvent, ch chan SweepEvent, cancel func(), ok bool) {
+	if !s.ownsSweep(tn, id) {
+		return nil, nil, nil, false
+	}
+	return s.SubscribeSweep(id)
+}
+
+// SweepFrontierTSVFor serves the frontier of a sweep tn owns.
+func (s *Service) SweepFrontierTSVFor(tn *tenant.Tenant, id string) ([]byte, bool) {
+	if !s.ownsSweep(tn, id) {
+		return nil, false
+	}
+	return s.SweepFrontierTSV(id)
 }
 
 // SweepFrontierTSV renders a sweep's current ranked frontier — the
@@ -371,6 +461,13 @@ func (s *Service) finishSweepLocked(sw *Sweep, state State, errMsg string) {
 	if sw.state.Terminal() {
 		return
 	}
+	// Release the points that will now never run from the tenant's
+	// pending-point budget (finished points were released one by one as
+	// their events arrived).
+	if remaining := sw.total - sw.done; remaining > 0 {
+		s.usageLocked(sw.Tenant).pointsPending -= remaining
+	}
+	s.usageLocked(sw.Tenant).sweepsActive--
 	if sw.started.IsZero() {
 		sw.started = sw.Created
 	}
@@ -423,7 +520,7 @@ func (s *Service) runSweep(sw *Sweep) {
 
 	rep, runErr := sweep.Run(ctx, sw.Spec, sweep.Options{
 		Runner: sweep.RunnerFunc(func(ctx context.Context, pt sweep.Point) (sweep.PointResult, error) {
-			return s.runSweepPoint(ctx, sw.Spec, pt)
+			return s.runSweepPoint(ctx, sw, pt)
 		}),
 		DefaultSeed: s.opts.DefaultSeed,
 		InFlight:    s.opts.SweepInFlight,
@@ -467,6 +564,9 @@ func (s *Service) observeSweep(sw *Sweep, ev sweep.Event) {
 	switch ev.Type {
 	case sweep.EventPoint:
 		sw.done = ev.Done
+		if !sw.state.Terminal() {
+			s.usageLocked(sw.Tenant).pointsPending--
+		}
 		if ev.Point.Scored {
 			sw.completed++
 		} else {
@@ -488,16 +588,17 @@ func (s *Service) observeSweep(sw *Sweep, ev sweep.Event) {
 	sw.publish(out)
 }
 
-// runSweepPoint executes one point as a regular service job: submit
-// through admission control (queue-full becomes a RetryError so the
-// engine backs off instead of failing the point), follow the job to a
-// terminal state, then collect its assembled tables. The shared
-// manifest dedupes repeated cells across points automatically.
-func (s *Service) runSweepPoint(ctx context.Context, spec sweep.Spec, pt sweep.Point) (sweep.PointResult, error) {
+// runSweepPoint executes one point as a regular service job submitted
+// on the owning tenant's fair-queue lane, so a sweep's firehose of
+// points competes as that tenant, not ahead of other tenants.
+// Queue-full and tenant-quota rejections become RetryErrors so the
+// engine backs off instead of failing the point; the shared cell
+// store dedupes repeated cells across points automatically.
+func (s *Service) runSweepPoint(ctx context.Context, sw *Sweep, pt sweep.Point) (sweep.PointResult, error) {
 	var res sweep.PointResult
-	job, err := s.Submit(s.sweepPointRequest(spec, pt))
-	if errors.Is(err, ErrQueueFull) {
-		return res, &sweep.RetryError{After: s.RetryAfter(), Err: err}
+	job, err := s.SubmitAs(sw.owner, s.sweepPointRequest(sw.Spec, pt))
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrQuota) {
+		return res, &sweep.RetryError{After: s.RetryAfterTenant(sw.Tenant), Err: err}
 	}
 	if err != nil {
 		return res, err

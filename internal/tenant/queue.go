@@ -1,0 +1,164 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue admission errors.
+var (
+	// ErrQueueFull rejects a push when the global bound is reached.
+	ErrQueueFull = errors.New("tenant: queue full")
+	// ErrQueueClosed rejects pushes after Close.
+	ErrQueueClosed = errors.New("tenant: queue closed")
+)
+
+// FairQueue is a weighted fair queue over per-tenant FIFO lanes,
+// implementing start-time fair queueing: each item is stamped with a
+// virtual finish time advanced by 1/weight per item, and Pop always
+// serves the lane whose head finishes earliest in virtual time. Two
+// backlogged tenants with weights 2 and 1 therefore drain 2:1, and a
+// tenant that submits one job behind another tenant's 300-item backlog
+// is served after at most one of the other tenant's items — not 300.
+//
+// Within a lane order is strictly FIFO, so per-tenant behavior is
+// exactly the old single queue's.
+type FairQueue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	limit  int // global item bound; <=0 unbounded
+	lanes  map[string]*lane[T]
+	names  []string // lane creation order, for deterministic tie scans
+	size   int
+	vtime  float64
+	closed bool
+}
+
+type lane[T any] struct {
+	items []fqItem[T]
+	// vfinish is the virtual finish time of the lane's last pushed
+	// item; the next item starts no earlier.
+	vfinish float64
+}
+
+type fqItem[T any] struct {
+	v      T
+	finish float64
+}
+
+// NewFairQueue builds a queue bounded to limit items across all
+// tenants (<=0 means unbounded).
+func NewFairQueue[T any](limit int) *FairQueue[T] {
+	q := &FairQueue[T]{limit: limit, lanes: make(map[string]*lane[T])}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues v on the tenant's lane. Weight scales the tenant's
+// drain share (minimum 1). ErrQueueFull reports the global bound,
+// ErrQueueClosed a queue that has shut down.
+func (q *FairQueue[T]) Push(tenant string, weight int, v T) error {
+	if weight < 1 {
+		weight = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.limit > 0 && q.size >= q.limit {
+		return ErrQueueFull
+	}
+	ln, ok := q.lanes[tenant]
+	if !ok {
+		ln = &lane[T]{}
+		q.lanes[tenant] = ln
+		q.names = append(q.names, tenant)
+	}
+	start := ln.vfinish
+	if q.vtime > start {
+		// An idle tenant re-enters at the current virtual time: it is
+		// neither penalized for its idle past nor allowed to bank it.
+		start = q.vtime
+	}
+	finish := start + 1/float64(weight)
+	ln.vfinish = finish
+	ln.items = append(ln.items, fqItem[T]{v: v, finish: finish})
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available and returns the one whose head
+// finishes earliest in virtual time (ties break on lane creation
+// order, so scheduling is deterministic). After Close, Pop drains the
+// remaining items and then reports ok=false.
+func (q *FairQueue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.size == 0 {
+		return v, false
+	}
+	var best *lane[T]
+	for _, name := range q.names {
+		ln := q.lanes[name]
+		if len(ln.items) == 0 {
+			continue
+		}
+		if best == nil || ln.items[0].finish < best.items[0].finish {
+			best = ln
+		}
+	}
+	it := best.items[0]
+	// Shift rather than re-slice forever: lanes are short (bounded by
+	// admission control) so the copy is cheap and the backing array
+	// cannot grow without bound.
+	copy(best.items, best.items[1:])
+	best.items = best.items[:len(best.items)-1]
+	q.size--
+	if it.finish > q.vtime {
+		q.vtime = it.finish
+	}
+	return it.v, true
+}
+
+// Close stops the queue: pushes fail, and Pop drains what remains
+// before reporting ok=false. Safe to call more than once.
+func (q *FairQueue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Len reports the items queued across all tenants.
+func (q *FairQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Depth reports one tenant's queued items.
+func (q *FairQueue[T]) Depth(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ln, ok := q.lanes[tenant]; ok {
+		return len(ln.items)
+	}
+	return 0
+}
+
+// Depths snapshots every tenant's queued items (lanes that have ever
+// held an item; zero-depth lanes are included so gauges stay visible).
+func (q *FairQueue[T]) Depths() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.lanes))
+	for name, ln := range q.lanes {
+		out[name] = len(ln.items)
+	}
+	return out
+}

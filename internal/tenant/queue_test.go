@@ -1,0 +1,182 @@
+package tenant
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func drain(t *testing.T, q *FairQueue[string], n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop %d: queue reported closed", i)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestFairQueueNoHeadOfLineBlocking is the tentpole contract: tenant
+// B's single job, submitted behind tenant A's deep backlog, is served
+// after at most one of A's items.
+func TestFairQueueNoHeadOfLineBlocking(t *testing.T) {
+	q := NewFairQueue[string](0)
+	for i := 0; i < 300; i++ {
+		if err := q.Push("a", 1, "a-job"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push("b", 1, "b-job"); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, q, 2)
+	if got[0] != "a-job" || got[1] != "b-job" {
+		t.Fatalf("pop order = %v, want b's job second despite a's 300-deep backlog", got)
+	}
+}
+
+// TestFairQueueWeights pins the 2:1 drain ratio for backlogged tenants
+// with weights 2 and 1.
+func TestFairQueueWeights(t *testing.T) {
+	q := NewFairQueue[string](0)
+	for i := 0; i < 6; i++ {
+		q.Push("heavy", 2, "h")
+		q.Push("light", 1, "l")
+	}
+	got := drain(t, q, 9)
+	h, l := 0, 0
+	for _, v := range got {
+		if v == "h" {
+			h++
+		} else {
+			l++
+		}
+	}
+	if h != 6 || l != 3 {
+		t.Fatalf("first 9 pops: %d heavy / %d light (%v), want 6/3", h, l, got)
+	}
+}
+
+// TestFairQueueFIFOWithinTenant: one tenant's items keep submission
+// order exactly.
+func TestFairQueueFIFOWithinTenant(t *testing.T) {
+	q := NewFairQueue[int](0)
+	for i := 0; i < 10; i++ {
+		q.Push("only", 3, i)
+	}
+	got := drain2(t, q, 10)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("pop %d = %d, want FIFO order", i, v)
+		}
+	}
+}
+
+func drain2(t *testing.T, q *FairQueue[int], n int) []int {
+	t.Helper()
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop %d: closed", i)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestFairQueueIdleTenantDoesNotBankCredit: a tenant that was idle while
+// others drained re-enters at the current virtual time, it does not get
+// to flush a burst ahead of an always-backlogged tenant.
+func TestFairQueueIdleTenantDoesNotBankCredit(t *testing.T) {
+	q := NewFairQueue[string](0)
+	for i := 0; i < 10; i++ {
+		q.Push("busy", 1, "busy")
+	}
+	drain(t, q, 10) // virtual time advances to 10 with "idle" absent
+	for i := 0; i < 3; i++ {
+		q.Push("busy", 1, "busy")
+		q.Push("idle", 1, "idle")
+	}
+	got := drain(t, q, 6)
+	// Strict alternation: idle starts at vtime, not at 0.
+	for i := 0; i < 6; i += 2 {
+		if got[i] != "busy" || got[i+1] != "idle" {
+			t.Fatalf("pop order = %v, want busy/idle alternation", got)
+		}
+	}
+}
+
+func TestFairQueueGlobalBound(t *testing.T) {
+	q := NewFairQueue[string](2)
+	if err := q.Push("a", 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("b", 1, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("c", 1, "z"); err != ErrQueueFull {
+		t.Fatalf("over-bound push = %v, want ErrQueueFull", err)
+	}
+	q.Pop()
+	if err := q.Push("c", 1, "z"); err != nil {
+		t.Fatalf("push after pop freed a slot: %v", err)
+	}
+}
+
+// TestFairQueueCloseDrains: Close lets queued items drain, then Pop
+// reports done; further pushes fail.
+func TestFairQueueCloseDrains(t *testing.T) {
+	q := NewFairQueue[string](0)
+	q.Push("a", 1, "one")
+	q.Push("a", 1, "two")
+	q.Close()
+	if err := q.Push("a", 1, "three"); err != ErrQueueClosed {
+		t.Fatalf("push after close = %v, want ErrQueueClosed", err)
+	}
+	got := drain(t, q, 2)
+	if got[0] != "one" || got[1] != "two" {
+		t.Fatalf("drain after close = %v", got)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop after drain must report closed")
+	}
+}
+
+// TestFairQueuePopBlocksUntilPush: a blocked Pop wakes on Push.
+func TestFairQueuePopBlocksUntilPush(t *testing.T) {
+	q := NewFairQueue[string](0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	got := ""
+	go func() {
+		defer wg.Done()
+		v, ok := q.Pop()
+		if ok {
+			got = v
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push("a", 1, "woken")
+	wg.Wait()
+	if got != "woken" {
+		t.Fatalf("blocked Pop got %q", got)
+	}
+}
+
+func TestFairQueueDepths(t *testing.T) {
+	q := NewFairQueue[string](0)
+	q.Push("a", 1, "x")
+	q.Push("a", 1, "y")
+	q.Push("b", 1, "z")
+	if q.Len() != 3 || q.Depth("a") != 2 || q.Depth("b") != 1 || q.Depth("nope") != 0 {
+		t.Fatalf("Len=%d Depth(a)=%d Depth(b)=%d", q.Len(), q.Depth("a"), q.Depth("b"))
+	}
+	d := q.Depths()
+	if d["a"] != 2 || d["b"] != 1 {
+		t.Fatalf("Depths = %v", d)
+	}
+}
