@@ -8,7 +8,7 @@ GO ?= go
 # Worker count for test-dispatch and run-workers.
 N ?= 4
 
-.PHONY: build vet test test-race test-dispatch sweep-smoke protocol-smoke loadgen-smoke bench bench-hotpath bench-smoke bench-gate benchstat staticcheck ci run-daemon run-workers
+.PHONY: build vet test test-race test-dispatch sweep-smoke protocol-smoke replacement-smoke loadgen-smoke bench bench-hotpath bench-smoke bench-gate benchstat staticcheck ci run-daemon run-workers
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,16 @@ protocol-smoke:
 	$(GO) test -count=1 -run 'TestSpecsMatchLegacyApply|TestRegisteredSpecsExhaustiveCoverage|TestSpecValidationRejectsBadTables|TestRegistryLookup' ./internal/coherence/
 	$(GO) run ./cmd/cohsim -protocols
 	$(GO) run ./cmd/experiments -quick -cache=false -only protomatrix -out /tmp/cohsim-protocol-smoke
+
+# Replacement-layer smoke: the lrustate and dirtystate quick artifacts
+# (one cell per registered replacement policy) through the daemon with
+# two attached workers and a tree-PLRU config override; the TSVs must be
+# byte-identical to a serial run and match the goldens under
+# internal/service/testdata/. Regenerate after an intentional simulator
+# change with:
+#   go test ./internal/service/ -run TestReplacementSmokeGolden -update-golden
+replacement-smoke:
+	COHSIM_TEST_WORKERS=2 $(GO) test -count=1 -run 'TestReplacementSmokeGolden|TestSlottedChannelsDeterministic' ./internal/service/ ./internal/covert/
 
 # Multi-tenant capacity smoke: two equal-weight authenticated tenants
 # replay the hot mix against an in-process daemon with two dispatch
@@ -105,7 +115,7 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-ci: build vet staticcheck test test-race protocol-smoke sweep-smoke loadgen-smoke
+ci: build vet staticcheck test test-race protocol-smoke sweep-smoke replacement-smoke loadgen-smoke
 
 # Start the experiment service daemon on :8080 (state under
 # results-daemon/). See EXPERIMENTS.md for the API walkthrough.

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	cohsim [-sockets N] [-cores N] [-protocol NAME] [-protocols]
+//	       [-replacement NAME] [-replacements]
 //	       [-samples N] [-seed N] [-mitigate-etom] [-mitigate-equalize]
 //
 // -protocol accepts any name in the coherence registry (MESI, MESIF,
 // MOESI, DRAGON, WT-NA out of the box); -protocols lists them.
+// -replacement accepts any name in the cache replacement-policy
+// registry (LRU, tree-PLRU, SRRIP, BRRIP); -replacements lists them.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"coherentleak/internal/cache"
 	"coherentleak/internal/coherence"
 	"coherentleak/internal/covert"
 	"coherentleak/internal/machine"
@@ -29,6 +33,8 @@ func main() {
 		cores     = flag.Int("cores", 6, "cores per socket")
 		protocol  = flag.String("protocol", "MESIF", "coherence protocol (see -protocols)")
 		listProto = flag.Bool("protocols", false, "list registered coherence protocols and exit")
+		replace   = flag.String("replacement", "", "cache replacement policy (see -replacements; default LRU)")
+		listRepl  = flag.Bool("replacements", false, "list registered replacement policies and exit")
 		samples   = flag.Int("samples", 1000, "timed loads per combination pair")
 		seed      = flag.Uint64("seed", 42, "simulation seed")
 		etom      = flag.Bool("mitigate-etom", false, "enable the E->M notification hardware fix")
@@ -49,6 +55,13 @@ func main() {
 		return
 	}
 
+	if *listRepl {
+		for _, info := range cache.Policies() {
+			fmt.Printf("%-10s %s\n", info.Name, info.Description)
+		}
+		return
+	}
+
 	cfg := machine.DefaultConfig()
 	cfg.Sockets = *sockets
 	cfg.CoresPerSocket = *cores
@@ -58,6 +71,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Protocol = coherence.Protocol(spec.Name())
+	pol, err := cache.PolicyFor(*replace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cohsim:", err)
+		os.Exit(2)
+	}
+	cfg.Replacement = pol.String()
 	cfg.Mitigations.LLCNotifiedOfEToM = *etom
 	cfg.Mitigations.EqualizeSocketLatency = *equalize
 	if err := cfg.Validate(); err != nil {
@@ -71,6 +90,7 @@ func main() {
 		cfg.L1.SizeBytes/1024, cfg.L1.Ways,
 		cfg.L2.SizeBytes/1024, cfg.L2.Ways,
 		cfg.LLC.SizeBytes/(1024*1024), cfg.LLC.Ways, cfg.InclusiveLLC)
+	fmt.Printf("policy:  %s replacement\n", cfg.ReplacementPolicy())
 	if *etom || *equalize {
 		fmt.Printf("defenses: etom=%v equalize=%v\n", *etom, *equalize)
 	}

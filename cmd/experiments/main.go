@@ -9,7 +9,8 @@
 //	experiments [-only table1,fig2,fig6,fig7,fig8,fig9,fig10,fig11,peaks,mitigations,capacity]
 //	            [-out results] [-quick] [-seed N] [-parallel N] [-timeout D]
 //	            [-cache=false] [-cache-max N] [-archive=false] [-list]
-//	            [-kernel interp|compiled] [-config '{"Latencies":{"QPI":60}}' | -config @overrides.json]
+//	            [-kernel interp|compiled] [-replacement lru|tree-plru|srrip|brrip]
+//	            [-config '{"Latencies":{"QPI":60}}' | -config @overrides.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-version]
 //
 // A -timeout (or Ctrl-C / SIGTERM) cancels the run between cells: cells
@@ -54,6 +55,7 @@ func main() {
 		list     = flag.Bool("list", false, "list registered artifacts and exit")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		kern     = flag.String("kernel", machine.KernelInterp, "access-stream kernel: interp or compiled (byte-identical output)")
+		replace  = flag.String("replacement", "", "cache replacement policy for every level (default LRU)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 		config   = flag.String("config", "", "machine-config overrides: JSON literal or @file, merged over the defaults (same schema as the daemon's job config)")
@@ -183,6 +185,9 @@ func main() {
 		}
 	}
 	cfg.Kernel = *kern
+	if *replace != "" {
+		cfg.Replacement = *replace
+	}
 	if err := cfg.Validate(); err != nil {
 		die(err)
 	}

@@ -56,20 +56,6 @@ type Line struct {
 // Valid reports whether the line holds usable data.
 func (l *Line) Valid() bool { return l.State.Valid() }
 
-// ReplacementPolicy selects a victim way within a set. It is the
-// extension seam for non-default policies (tree-PLRU, random); the
-// built-in LRU default is special-cased inside Cache so the per-access
-// path pays no interface dispatch.
-type ReplacementPolicy interface {
-	// Victim returns the way to evict from set; lines[i] may be invalid,
-	// in which case the policy must prefer it.
-	Victim(set []Line) int
-	// Touch notes that way in set was accessed.
-	Touch(set []Line, way int)
-	// Name identifies the policy for reports.
-	Name() string
-}
-
 // Cache is a single set-associative cache array. Line metadata lives in
 // per-set slices allocated on first fill: a set probe still walks one
 // contiguous run of memory, but constructing a cache costs only the
@@ -77,18 +63,33 @@ type ReplacementPolicy interface {
 // short-lived machines (one per calibration band, per covert session)
 // that touch a handful of sets — eagerly zeroing a multi-megabyte LLC
 // array for each dominated construction cost.
+//
+// Replacement metadata lives in flat arrays owned by the cache, indexed
+// by set (and way), never in maps keyed by set identity: policy state is
+// part of the cache, cannot alias across caches, and costs no per-access
+// allocation. The default LRU policy keeps its devirtualized fast path
+// (recency stamps on the lines themselves + lruVictim); tree-PLRU and
+// the RRIP family are dispatched by a small enum switch.
 type Cache struct {
-	geo    Geometry
-	sets   [][]Line // sets[s] is nil until the first fill touches set s
-	ways   int
-	policy ReplacementPolicy
-	// lruFast marks the built-in LRU policy: the hot path then uses the
-	// package-level lruVictim directly instead of an interface call.
-	lruFast bool
+	geo     Geometry
+	sets    [][]Line // sets[s] is nil until the first fill touches set s
+	ways    int
+	policy  Policy
 	clock   uint64 // recency counter for LRU stamps
 	numSets uint64
 	setMask uint64 // numSets-1 when numSets is a power of two
 	pow2    bool
+
+	// plruBits[s] is set s's tree-PLRU node-bit word (PolicyTreePLRU
+	// only; nil otherwise). Bit k is internal node k of the binary
+	// decision tree over the set's ways; set = victim search goes right.
+	plruBits []uint64
+	// rrpv[s*ways+w] is way w of set s's 2-bit re-reference prediction
+	// value (PolicySRRIP/PolicyBRRIP only; nil otherwise).
+	rrpv []uint8
+	// brripFills counts fills for BRRIP's deterministic bimodal
+	// insertion (every brripLongEvery-th fill inserts at "long").
+	brripFills uint64
 
 	// Stats accumulates hit/miss/eviction counts.
 	Stats Stats
@@ -103,18 +104,16 @@ type Stats struct {
 	Flushes   uint64
 }
 
-// New returns a cache with the given geometry and policy. A nil policy
-// defaults to LRU.
-func New(geo Geometry, policy ReplacementPolicy) (*Cache, error) {
+// New returns a cache with the given geometry and replacement policy
+// (the Policy zero value is LRU, the historical default). Non-LRU
+// policies allocate their flat metadata arrays here, once — nothing on
+// the per-access path ever allocates.
+func New(geo Geometry, policy Policy) (*Cache, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
-	lruFast := false
-	if policy == nil {
-		policy = NewLRU()
-	}
-	if _, ok := policy.(lru); ok {
-		lruFast = true
+	if err := policy.CheckGeometry(geo); err != nil {
+		return nil, err
 	}
 	sets := geo.Sets()
 	c := &Cache{
@@ -122,8 +121,13 @@ func New(geo Geometry, policy ReplacementPolicy) (*Cache, error) {
 		sets:    make([][]Line, sets),
 		ways:    geo.Ways,
 		policy:  policy,
-		lruFast: lruFast,
 		numSets: uint64(sets),
+	}
+	switch policy {
+	case PolicyTreePLRU:
+		c.plruBits = make([]uint64, sets)
+	case PolicySRRIP, PolicyBRRIP:
+		c.rrpv = make([]uint8, sets*geo.Ways)
 	}
 	if c.numSets&(c.numSets-1) == 0 {
 		c.pow2 = true
@@ -133,7 +137,7 @@ func New(geo Geometry, policy ReplacementPolicy) (*Cache, error) {
 }
 
 // MustNew is New but panics on configuration error; for static configs.
-func MustNew(geo Geometry, policy ReplacementPolicy) *Cache {
+func MustNew(geo Geometry, policy Policy) *Cache {
 	c, err := New(geo, policy)
 	if err != nil {
 		panic(err)
@@ -145,7 +149,64 @@ func MustNew(geo Geometry, policy ReplacementPolicy) *Cache {
 func (c *Cache) Geometry() Geometry { return c.geo }
 
 // Policy returns the replacement policy.
-func (c *Cache) Policy() ReplacementPolicy { return c.policy }
+func (c *Cache) Policy() Policy { return c.policy }
+
+// touchSlow updates non-LRU replacement metadata after a hit or re-fill
+// of way w in set s. The LRU fast path (recency stamp) is inlined at the
+// call sites; this runs only for the enum policies that keep state in
+// the flat arrays.
+func (c *Cache) touchSlow(s uint64, w int) {
+	switch c.policy {
+	case PolicyTreePLRU:
+		c.plruBits[s] = plruTouch(c.plruBits[s], c.ways, w)
+	default: // PolicySRRIP, PolicyBRRIP: a hit predicts near re-reference.
+		c.rrpv[s*uint64(c.ways)+uint64(w)] = 0
+	}
+}
+
+// victimSlow selects a victim way for the enum policies. Invalid ways
+// are always preferred, scanning from way 0, matching lruVictim.
+func (c *Cache) victimSlow(s uint64, ways []Line) int {
+	for i := range ways {
+		if !ways[i].Valid() {
+			return i
+		}
+	}
+	if c.policy == PolicyTreePLRU {
+		return plruVictim(c.plruBits[s], c.ways)
+	}
+	// RRIP: the victim is the first way (from way 0) at "distant";
+	// if none, age every way until one reaches it.
+	base := s * uint64(c.ways)
+	r := c.rrpv[base : base+uint64(c.ways)]
+	for {
+		for i, v := range r {
+			if v >= maxRRPV {
+				return i
+			}
+		}
+		for i := range r {
+			r[i]++
+		}
+	}
+}
+
+// fillMeta sets the replacement metadata for a newly filled way.
+func (c *Cache) fillMeta(s uint64, w int) {
+	switch c.policy {
+	case PolicyTreePLRU:
+		c.plruBits[s] = plruTouch(c.plruBits[s], c.ways, w)
+	default: // PolicySRRIP, PolicyBRRIP
+		ins := uint8(srripInsertRRPV)
+		if c.policy == PolicyBRRIP {
+			c.brripFills++
+			if c.brripFills%brripLongEvery != 0 {
+				ins = maxRRPV
+			}
+		}
+		c.rrpv[s*uint64(c.ways)+uint64(w)] = ins
+	}
+}
 
 // index maps a line address to (set, tag). The tag is the full line
 // number, which keeps reconstruction trivial and supports set counts that
@@ -200,8 +261,8 @@ func (c *Cache) Lookup(addr uint64) *Line {
 		if l.Valid() && l.Tag == tag {
 			c.clock++
 			l.lru = c.clock
-			if !c.lruFast {
-				c.policy.Touch(ways, i)
+			if c.policy != PolicyLRU {
+				c.touchSlow(set, i)
 			}
 			c.Stats.Hits++
 			return l
@@ -237,18 +298,18 @@ func (c *Cache) Insert(addr uint64, state coherence.State) (ev Evicted, ok bool)
 			l.State = state
 			c.clock++
 			l.lru = c.clock
-			if !c.lruFast {
-				c.policy.Touch(ways, i)
+			if c.policy != PolicyLRU {
+				c.touchSlow(set, i)
 			}
 			return Evicted{}, false
 		}
 	}
 
 	var w int
-	if c.lruFast {
+	if c.policy == PolicyLRU {
 		w = lruVictim(ways)
 	} else {
-		w = c.policy.Victim(ways)
+		w = c.victimSlow(set, ways)
 	}
 	victim := &ways[w]
 	if victim.Valid() {
@@ -258,8 +319,8 @@ func (c *Cache) Insert(addr uint64, state coherence.State) (ev Evicted, ok bool)
 	}
 	c.clock++
 	*victim = Line{Tag: tag, State: state, lru: c.clock}
-	if !c.lruFast {
-		c.policy.Touch(ways, w)
+	if c.policy != PolicyLRU {
+		c.fillMeta(set, w)
 	}
 	c.Stats.Fills++
 	return ev, ok
@@ -279,10 +340,10 @@ func (c *Cache) InsertAbsent(addr uint64, state coherence.State) (ev Evicted, ok
 	ways := c.setMake(set)
 
 	var w int
-	if c.lruFast {
+	if c.policy == PolicyLRU {
 		w = lruVictim(ways)
 	} else {
-		w = c.policy.Victim(ways)
+		w = c.victimSlow(set, ways)
 	}
 	victim := &ways[w]
 	if victim.Valid() {
@@ -292,8 +353,8 @@ func (c *Cache) InsertAbsent(addr uint64, state coherence.State) (ev Evicted, ok
 	}
 	c.clock++
 	*victim = Line{Tag: tag, State: state, lru: c.clock}
-	if !c.lruFast {
-		c.policy.Touch(ways, w)
+	if c.policy != PolicyLRU {
+		c.fillMeta(set, w)
 	}
 	c.Stats.Fills++
 	return ev, ok
@@ -385,9 +446,13 @@ func (c *Cache) ForEachValid(fn func(addr uint64, st coherence.State)) {
 	}
 }
 
-// Clear invalidates the whole cache (test helper / machine reset).
+// Clear invalidates the whole cache (test helper / machine reset),
+// including all replacement metadata.
 func (c *Cache) Clear() {
 	clear(c.sets)
+	clear(c.plruBits)
+	clear(c.rrpv)
+	c.brripFills = 0
 }
 
 // SetIndexOf exposes the set index for addr (for conflict-set workload
@@ -395,4 +460,21 @@ func (c *Cache) Clear() {
 func (c *Cache) SetIndexOf(addr uint64) uint64 {
 	set, _ := c.index(LineAddr(addr))
 	return set
+}
+
+// WayOf returns the way index currently holding addr's line, without
+// touching recency or stats. Like SetIndexOf, this is a ground-truth
+// accessor for conflict-set construction: the simulator exposes its
+// known placement directly, where on real hardware an attacker would
+// recover way occupancy with timing-based group testing.
+func (c *Cache) WayOf(addr uint64) (int, bool) {
+	set, tag := c.index(LineAddr(addr))
+	ways := c.set(set)
+	for i := range ways {
+		l := &ways[i]
+		if l.Valid() && l.Tag == tag {
+			return i, true
+		}
+	}
+	return 0, false
 }

@@ -5,13 +5,12 @@ import (
 	"testing/quick"
 
 	"coherentleak/internal/coherence"
-	"coherentleak/internal/sim"
 )
 
 func smallCache(t *testing.T, ways int) *Cache {
 	t.Helper()
 	// 4 sets x `ways` ways.
-	c, err := New(Geometry{SizeBytes: 4 * ways * LineSize, Ways: ways}, nil)
+	c, err := New(Geometry{SizeBytes: 4 * ways * LineSize, Ways: ways}, PolicyLRU)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +202,7 @@ func TestClear(t *testing.T) {
 // a line just inserted is always present.
 func TestCapacityInvariant(t *testing.T) {
 	f := func(addrs []uint16) bool {
-		c := MustNew(Geometry{SizeBytes: 8 * 2 * LineSize, Ways: 2}, nil)
+		c := MustNew(Geometry{SizeBytes: 8 * 2 * LineSize, Ways: 2}, PolicyLRU)
 		capacity := 8 * 2
 		for _, a16 := range addrs {
 			a := uint64(a16) * LineSize
@@ -226,7 +225,7 @@ func TestCapacityInvariant(t *testing.T) {
 // reported by Insert is an address that was previously inserted.
 func TestEvictedAddrRoundTrip(t *testing.T) {
 	f := func(addrs []uint16) bool {
-		c := MustNew(Geometry{SizeBytes: 4 * 2 * LineSize, Ways: 2}, nil)
+		c := MustNew(Geometry{SizeBytes: 4 * 2 * LineSize, Ways: 2}, PolicyLRU)
 		inserted := map[uint64]bool{}
 		for _, a16 := range addrs {
 			a := uint64(a16) * LineSize
@@ -244,7 +243,7 @@ func TestEvictedAddrRoundTrip(t *testing.T) {
 }
 
 func TestTreePLRUFillsInvalidFirst(t *testing.T) {
-	c := MustNew(Geometry{SizeBytes: 4 * 4 * LineSize, Ways: 4}, NewTreePLRU())
+	c := MustNew(Geometry{SizeBytes: 4 * 4 * LineSize, Ways: 4}, PolicyTreePLRU)
 	base := uint64(0)
 	stride := uint64(4 * LineSize)
 	for i := uint64(0); i < 4; i++ {
@@ -259,7 +258,7 @@ func TestTreePLRUFillsInvalidFirst(t *testing.T) {
 }
 
 func TestTreePLRUVictimIsNotMostRecent(t *testing.T) {
-	c := MustNew(Geometry{SizeBytes: 4 * 4 * LineSize, Ways: 4}, NewTreePLRU())
+	c := MustNew(Geometry{SizeBytes: 4 * 4 * LineSize, Ways: 4}, PolicyTreePLRU)
 	stride := uint64(4 * LineSize)
 	for i := uint64(0); i < 4; i++ {
 		c.Insert(i*stride, coherence.Shared)
@@ -275,38 +274,197 @@ func TestTreePLRUVictimIsNotMostRecent(t *testing.T) {
 	}
 }
 
-func TestRandomPolicyDeterministicUnderSeed(t *testing.T) {
-	mk := func() []uint64 {
-		c := MustNew(Geometry{SizeBytes: 4 * 2 * LineSize, Ways: 2}, NewRandom(sim.NewRand(99)))
-		var evs []uint64
-		stride := uint64(4 * LineSize)
-		for i := uint64(0); i < 20; i++ {
-			if ev, ok := c.Insert(i*stride, coherence.Shared); ok {
-				evs = append(evs, ev.Addr)
+// TestTreePLRUFullHistory pins the tree walk exactly: touching ways in a
+// known order makes the victim fully determined (not just "not the MRU").
+// With 4 ways, touching 0,1,2,3 leaves every node pointing left → victim
+// is way 0; then touching way 0 flips the root right → victim is way 2.
+func TestTreePLRUFullHistory(t *testing.T) {
+	c := MustNew(Geometry{SizeBytes: 1 * 4 * LineSize, Ways: 4}, PolicyTreePLRU)
+	stride := uint64(LineSize)
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i*stride, coherence.Shared) // fills ways 0..3 in order
+	}
+	ev, ok := c.Insert(10*stride, coherence.Shared)
+	if !ok || ev.Addr != 0 {
+		t.Fatalf("victim after sequential touch = %+v, want way-0 line 0", ev)
+	}
+	// New line sits in way 0 (just touched). Touch way 1's line: the root
+	// now points right → victim is way 2's line.
+	c.Lookup(1 * stride)
+	ev, ok = c.Insert(11*stride, coherence.Shared)
+	if !ok || ev.Addr != 2*stride {
+		t.Fatalf("victim = %+v, want line 2", ev)
+	}
+}
+
+func TestTreePLRURequiresPow2Ways(t *testing.T) {
+	_, err := New(Geometry{SizeBytes: 3 * 64, Ways: 3}, PolicyTreePLRU)
+	if err == nil {
+		t.Fatal("tree-PLRU accepted 3-way geometry")
+	}
+	if _, err := New(Geometry{SizeBytes: 3 * 64, Ways: 3}, PolicySRRIP); err != nil {
+		t.Fatalf("SRRIP rejected 3-way geometry: %v", err)
+	}
+}
+
+// TestPoliciesDoNotAliasAcrossCaches is the regression test for the old
+// map-backed treePLRU, which keyed per-set state off &set[0] — state
+// could leak between caches sharing a policy value or across rebuilds.
+// With flat per-cache arrays, driving one cache must never change
+// another's eviction decisions.
+func TestPoliciesDoNotAliasAcrossCaches(t *testing.T) {
+	for _, pol := range []Policy{PolicyTreePLRU, PolicySRRIP, PolicyBRRIP} {
+		t.Run(pol.String(), func(t *testing.T) {
+			geo := Geometry{SizeBytes: 4 * 4 * LineSize, Ways: 4}
+			stride := uint64(4 * LineSize)
+			run := func(c *Cache, perturb *Cache) []uint64 {
+				var evs []uint64
+				for i := uint64(0); i < 24; i++ {
+					if perturb != nil {
+						// Interleave accesses on the other cache with a
+						// different, shifted stream.
+						perturb.Insert((i*3+1)*stride, coherence.Shared)
+						perturb.Lookup((i * 3) * stride)
+					}
+					if ev, ok := c.Insert(i*stride, coherence.Shared); ok {
+						evs = append(evs, ev.Addr)
+					}
+					c.Lookup((i / 2) * stride)
+				}
+				return evs
 			}
+			clean := run(MustNew(geo, pol), nil)
+			noisy := run(MustNew(geo, pol), MustNew(geo, pol))
+			if len(clean) != len(noisy) {
+				t.Fatalf("eviction stream lengths differ: %d vs %d", len(clean), len(noisy))
+			}
+			for i := range clean {
+				if clean[i] != noisy[i] {
+					t.Fatalf("eviction %d differs (%#x vs %#x): policy state aliased across caches",
+						i, clean[i], noisy[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSRRIPInsertionAge pins RRIP semantics: a fill inserts at "long"
+// (RRPV 2), a hit promotes to 0, and the victim scan ages everyone and
+// takes the first way at "distant" from way 0.
+func TestSRRIPInsertionAge(t *testing.T) {
+	c := MustNew(Geometry{SizeBytes: 1 * 4 * LineSize, Ways: 4}, PolicySRRIP)
+	stride := uint64(LineSize)
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i*stride, coherence.Shared) // all at RRPV 2
+	}
+	c.Lookup(0) // way 0 promoted to RRPV 0
+	// Victim: aging brings ways 1..3 to 3 first; first-from-way-0 → way 1.
+	ev, ok := c.Insert(10*stride, coherence.Shared)
+	if !ok || ev.Addr != 1*stride {
+		t.Fatalf("SRRIP victim = %+v, want line 1", ev)
+	}
+	// The fresh line entered at RRPV 2; ways 2,3 are at 3. Next victim is
+	// way 2 (first distant from way 0), not the new line.
+	ev, ok = c.Insert(11*stride, coherence.Shared)
+	if !ok || ev.Addr != 2*stride {
+		t.Fatalf("second SRRIP victim = %+v, want line 2", ev)
+	}
+}
+
+// TestBRRIPBimodalInsertion pins the deterministic bimodal trickle:
+// fills insert at "distant" (immediately evictable) except every 32nd,
+// which inserts at "long" and therefore survives the next conflict.
+func TestBRRIPBimodalInsertion(t *testing.T) {
+	c := MustNew(Geometry{SizeBytes: 1 * 2 * LineSize, Ways: 2}, PolicyBRRIP)
+	stride := uint64(LineSize)
+	var evs []uint64
+	for i := uint64(0); i < 40; i++ {
+		if ev, ok := c.Insert(i*stride, coherence.Shared); ok {
+			evs = append(evs, ev.Addr)
 		}
-		return evs
 	}
-	a, b := mk(), mk()
-	if len(a) != len(b) {
-		t.Fatal("eviction streams differ in length")
+	if len(evs) != 38 {
+		t.Fatalf("got %d evictions, want 38", len(evs))
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("random policy not deterministic under fixed seed")
+	// Fill 32 inserted at "long": it must survive strictly longer than its
+	// distant-inserted neighbours. Under pure distant insertion the stream
+	// would evict in arrival order; the long line breaks that order.
+	inOrder := true
+	for i := 1; i < len(evs); i++ {
+		if evs[i] < evs[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("BRRIP eviction stream is pure FIFO: bimodal long insertion never engaged")
+	}
+	// Determinism: the same stream replays identically (counter, not RNG).
+	c2 := MustNew(Geometry{SizeBytes: 1 * 2 * LineSize, Ways: 2}, PolicyBRRIP)
+	var evs2 []uint64
+	for i := uint64(0); i < 40; i++ {
+		if ev, ok := c2.Insert(i*stride, coherence.Shared); ok {
+			evs2 = append(evs2, ev.Addr)
+		}
+	}
+	for i := range evs {
+		if evs[i] != evs2[i] {
+			t.Fatal("BRRIP eviction stream not deterministic")
 		}
 	}
 }
 
-func TestPolicyNames(t *testing.T) {
-	if NewLRU().Name() != "LRU" {
-		t.Error("LRU name")
+func TestPolicyRegistry(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+	}{
+		{"", PolicyLRU},
+		{"lru", PolicyLRU},
+		{"LRU", PolicyLRU},
+		{"tree-plru", PolicyTreePLRU},
+		{"Tree-PLRU", PolicyTreePLRU},
+		{"PLRU", PolicyTreePLRU},
+		{"  srrip ", PolicySRRIP},
+		{"brrip", PolicyBRRIP},
 	}
-	if NewTreePLRU().Name() != "tree-PLRU" {
-		t.Error("tree-PLRU name")
+	for _, tc := range cases {
+		got, err := PolicyFor(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("PolicyFor(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
 	}
-	if NewRandom(sim.NewRand(1)).Name() != "random" {
-		t.Error("random name")
+	if _, err := PolicyFor("clock"); err == nil {
+		t.Error("PolicyFor accepted unknown policy")
+	}
+	names := PolicyNames()
+	if len(names) != 4 || names[0] != "LRU" {
+		t.Errorf("PolicyNames() = %v", names)
+	}
+	for _, info := range Policies() {
+		if info.Policy.String() != info.Name {
+			t.Errorf("String() of %v = %q, want %q", info.Policy, info.Policy.String(), info.Name)
+		}
+	}
+}
+
+func TestWayOf(t *testing.T) {
+	c := MustNew(Geometry{SizeBytes: 1 * 4 * LineSize, Ways: 4}, PolicyLRU)
+	stride := uint64(LineSize)
+	for i := uint64(0); i < 3; i++ {
+		c.Insert(i*stride, coherence.Shared)
+	}
+	before := c.Stats
+	for i := uint64(0); i < 3; i++ {
+		w, ok := c.WayOf(i * stride)
+		if !ok || w != int(i) {
+			t.Fatalf("WayOf(line %d) = %d, %v", i, w, ok)
+		}
+	}
+	if _, ok := c.WayOf(9 * stride); ok {
+		t.Fatal("WayOf hit an absent line")
+	}
+	if c.Stats != before {
+		t.Fatal("WayOf changed stats")
 	}
 }
 
@@ -325,7 +483,7 @@ func TestSetIndexBoundaries(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			c := MustNew(tc.geo, nil)
+			c := MustNew(tc.geo, PolicyLRU)
 			sets := uint64(tc.geo.Sets())
 			lines := []uint64{
 				0,          // first line of set 0
@@ -367,7 +525,7 @@ func TestSetIndexBoundaries(t *testing.T) {
 // (never displacing live data), and once all ways are valid the oldest
 // stamp loses regardless of insertion order.
 func TestLRUVictimPrefersInvalidWays(t *testing.T) {
-	c := MustNew(Geometry{SizeBytes: 1 * 4 * LineSize, Ways: 4}, nil) // 1 set, 4 ways
+	c := MustNew(Geometry{SizeBytes: 1 * 4 * LineSize, Ways: 4}, PolicyLRU) // 1 set, 4 ways
 	stride := uint64(LineSize)
 	// Fill ways 0..3.
 	for i := uint64(0); i < 4; i++ {
@@ -386,11 +544,6 @@ func TestLRUVictimPrefersInvalidWays(t *testing.T) {
 	ev, ok := c.Insert(12*stride, coherence.Shared)
 	if !ok || ev.Addr != 0 {
 		t.Fatalf("full-set victim = %+v ok=%v, want line 0", ev, ok)
-	}
-	// The package-level lruVictim and the lru policy must agree way-by-way.
-	set := c.set(0)
-	if pv, fv := (lru{}).Victim(set), lruVictim(set); pv != fv {
-		t.Fatalf("policy Victim %d != fast-path victim %d", pv, fv)
 	}
 }
 

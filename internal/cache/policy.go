@@ -1,24 +1,134 @@
 package cache
 
-import "coherentleak/internal/sim"
+import (
+	"fmt"
+	"strings"
+)
 
-// lru evicts the least-recently-used valid line, preferring invalid ways.
-// Recency is read from Line.lru stamps maintained by the Cache.
-type lru struct{}
+// Policy selects a replacement algorithm. Policies are a closed enum —
+// the per-access paths dispatch on a small switch, never through an
+// interface — and all per-set metadata lives in flat arrays owned by the
+// Cache (see the fields on Cache), so policy state can never alias
+// across caches and the hot path stays allocation-free.
+type Policy uint8
 
-// NewLRU returns the true-LRU replacement policy, the default for every
-// cache level.
-func NewLRU() ReplacementPolicy { return lru{} }
+const (
+	// PolicyLRU is true least-recently-used via per-line recency stamps,
+	// the historical default for every cache level.
+	PolicyLRU Policy = iota
+	// PolicyTreePLRU approximates LRU with a binary decision tree per
+	// set (one bit per internal node), as real LLCs do. Requires
+	// power-of-two associativity.
+	PolicyTreePLRU
+	// PolicySRRIP is static re-reference interval prediction: a 2-bit
+	// RRPV per line, hits promote to 0, fills insert at "long" (2),
+	// victims are the first way at "distant" (3) after aging.
+	PolicySRRIP
+	// PolicyBRRIP is bimodal RRIP: like SRRIP but fills insert at
+	// "distant" (3) except for a deterministic 1-in-32 trickle at
+	// "long", which makes the policy thrash-resistant.
+	PolicyBRRIP
+)
 
-func (lru) Name() string { return "LRU" }
+// RRIP constants: 2-bit re-reference prediction values.
+const (
+	maxRRPV         = 3 // "distant": the eviction candidate value
+	srripInsertRRPV = 2 // "long": SRRIP's insertion age
+	// brripLongEvery is the deterministic bimodal period: every N-th
+	// fill inserts at "long" instead of "distant". A counter, not an
+	// RNG draw, so identical access streams always produce identical
+	// eviction streams (the repo-wide byte-identity bar).
+	brripLongEvery = 32
+)
 
-func (lru) Touch(set []Line, way int) {}
+// PolicyInfo describes one registered replacement policy.
+type PolicyInfo struct {
+	Policy      Policy
+	Name        string
+	Description string
+	// aliases are additional accepted spellings (upper-cased).
+	aliases []string
+}
 
-func (lru) Victim(set []Line) int { return lruVictim(set) }
+// policyTable is the registry, in registration order. Lookups are
+// case-insensitive over Name and aliases.
+var policyTable = []PolicyInfo{
+	{PolicyLRU, "LRU", "true least-recently-used (per-line recency stamps); the default", nil},
+	{PolicyTreePLRU, "tree-PLRU", "binary-decision-tree pseudo-LRU, one bit per node (power-of-two ways)", []string{"PLRU", "TREEPLRU", "TREE_PLRU"}},
+	{PolicySRRIP, "SRRIP", "static re-reference interval prediction (2-bit RRPV, insert at long)", nil},
+	{PolicyBRRIP, "BRRIP", "bimodal RRIP (insert at distant with a 1/32 long trickle; thrash-resistant)", []string{"BIP-RRIP"}},
+}
+
+// String returns the policy's canonical registry name.
+func (p Policy) String() string {
+	for _, info := range policyTable {
+		if info.Policy == p {
+			return info.Name
+		}
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// CheckGeometry reports whether the policy can manage a cache of the
+// given shape. Tree-PLRU's decision tree needs power-of-two ways.
+func (p Policy) CheckGeometry(geo Geometry) error {
+	if p == PolicyTreePLRU && geo.Ways&(geo.Ways-1) != 0 {
+		return fmt.Errorf("cache: tree-PLRU requires power-of-two associativity, got %d ways", geo.Ways)
+	}
+	return nil
+}
+
+// Policies returns the registered policies in registration order.
+func Policies() []PolicyInfo {
+	out := make([]PolicyInfo, len(policyTable))
+	copy(out, policyTable)
+	return out
+}
+
+// PolicyNames returns the canonical policy names in registration order.
+func PolicyNames() []string {
+	out := make([]string, 0, len(policyTable))
+	for _, info := range policyTable {
+		out = append(out, info.Name)
+	}
+	return out
+}
+
+// PolicyFor resolves a policy by registry name, case-insensitively. The
+// empty string means LRU (the historical default), mirroring how the
+// coherence registry treats an empty protocol name.
+func PolicyFor(name string) (Policy, error) {
+	key := strings.ToUpper(strings.TrimSpace(name))
+	if key == "" {
+		return PolicyLRU, nil
+	}
+	for _, info := range policyTable {
+		if strings.ToUpper(info.Name) == key {
+			return info.Policy, nil
+		}
+		for _, al := range info.aliases {
+			if al == key {
+				return info.Policy, nil
+			}
+		}
+	}
+	return PolicyLRU, fmt.Errorf("cache: unknown replacement policy %q (registered: %s)",
+		name, strings.Join(PolicyNames(), ", "))
+}
+
+// MustPolicy is PolicyFor but panics on unknown names; for static
+// configs that were already validated.
+func MustPolicy(name string) Policy {
+	p, err := PolicyFor(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
 
 // lruVictim picks the way with the oldest recency stamp, preferring
-// invalid ways. It is shared by the lru policy and Cache's devirtualized
-// fast path, so both select identical victims.
+// invalid ways. It is the devirtualized fast path for the default
+// policy; Insert calls it directly when the policy is PolicyLRU.
 func lruVictim(set []Line) int {
 	victim := 0
 	var best uint64
@@ -36,64 +146,31 @@ func lruVictim(set []Line) int {
 	return victim
 }
 
-// treePLRU approximates LRU with a binary decision tree per set, as real
-// LLCs do. State is kept per policy instance keyed by the set's backing
-// array; because each Cache allocates distinct set slices, a policy
-// instance must not be shared across caches.
-type treePLRU struct {
-	bits map[*Line]uint64
-}
-
-// NewTreePLRU returns a tree-PLRU policy. Associativity must be a power
-// of two at Victim time.
-func NewTreePLRU() ReplacementPolicy {
-	return &treePLRU{bits: make(map[*Line]uint64)}
-}
-
-func (p *treePLRU) Name() string { return "tree-PLRU" }
-
-func (p *treePLRU) key(set []Line) *Line { return &set[0] }
-
-func (p *treePLRU) Touch(set []Line, way int) {
-	n := len(set)
-	if n&(n-1) != 0 {
-		return // non-power-of-two associativity: degrade to no-op
-	}
-	state := p.bits[p.key(set)]
-	// Walk from the root, flipping each node to point away from `way`.
-	node := 0
-	lo, hi := 0, n
+// plruTouch returns the set's tree bits updated so every node on way's
+// root path points away from way (bit set = victim search goes right).
+func plruTouch(bits uint64, ways, way int) uint64 {
+	node, lo, hi := 0, 0, ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if way < mid {
-			state |= 1 << uint(node) // point right (away)
+			bits |= 1 << uint(node) // point right (away)
 			node = 2*node + 1
 			hi = mid
 		} else {
-			state &^= 1 << uint(node) // point left (away)
+			bits &^= 1 << uint(node) // point left (away)
 			node = 2*node + 2
 			lo = mid
 		}
 	}
-	p.bits[p.key(set)] = state
+	return bits
 }
 
-func (p *treePLRU) Victim(set []Line) int {
-	for i := range set {
-		if !set[i].Valid() {
-			return i
-		}
-	}
-	n := len(set)
-	if n&(n-1) != 0 {
-		return 0
-	}
-	state := p.bits[p.key(set)]
-	node := 0
-	lo, hi := 0, n
+// plruVictim walks the tree bits from the root to the pointed-at way.
+func plruVictim(bits uint64, ways int) int {
+	node, lo, hi := 0, 0, ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		if state&(1<<uint(node)) != 0 {
+		if bits&(1<<uint(node)) != 0 {
 			node = 2*node + 2 // bit set: go right
 			lo = mid
 		} else {
@@ -102,26 +179,4 @@ func (p *treePLRU) Victim(set []Line) int {
 		}
 	}
 	return lo
-}
-
-// randomPolicy evicts a uniformly random valid way; a lower bound for
-// policy quality and a useful ablation for the channel's noise floor.
-type randomPolicy struct {
-	rng *sim.Rand
-}
-
-// NewRandom returns a random replacement policy driven by rng.
-func NewRandom(rng *sim.Rand) ReplacementPolicy { return &randomPolicy{rng: rng} }
-
-func (p *randomPolicy) Name() string { return "random" }
-
-func (p *randomPolicy) Touch(set []Line, way int) {}
-
-func (p *randomPolicy) Victim(set []Line) int {
-	for i := range set {
-		if !set[i].Valid() {
-			return i
-		}
-	}
-	return p.rng.Intn(len(set))
 }

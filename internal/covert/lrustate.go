@@ -1,0 +1,258 @@
+// LRU-state covert channel (Xiong & Szefer, "Leaking Information
+// Through Cache LRU States"): the trojan encodes a bit purely in the
+// *replacement metadata* of the shared line's LLC set. Each slot the spy
+// primes the set so the shared block B is the designated victim, the
+// trojan either re-touches B (bit 1, making B most-recently-used) or
+// stays idle (bit 0), and the spy then forces exactly one eviction with
+// a fresh conflict line and times a reload of B: a fast reload means B
+// survived (the trojan's touch moved the victim pointer), a DRAM-bound
+// reload means B was the victim. Every trojan access on the monitored
+// set is a *hit* — the trojan never changes any hit/miss outcome, only
+// recency — which is what distinguishes this from classic prime+probe
+// and why hit/miss-preserving mitigations do not close it.
+//
+// How well the channel works is a property of the replacement policy:
+// true LRU and tree-PLRU honour the spy's priming order, so single-touch
+// control of the victim pointer is exact; SRRIP collapses all primed
+// lines to the same re-reference class (the victim degenerates to a scan
+// from way 0) and BRRIP's distant-insertion thrash resistance keeps the
+// spy from even staging the set. The protomatrix artifact reports the
+// survival surface.
+package covert
+
+import (
+	"fmt"
+	"sort"
+
+	"coherentleak/internal/cache"
+	"coherentleak/internal/kernel"
+	"coherentleak/internal/machine"
+	"coherentleak/internal/sim"
+)
+
+// LRUStateChannel transmits through LLC replacement metadata. Trojan and
+// spy run on the same socket (cores 1 and 0) and are externally clocked
+// into fixed slots, like DirtyStateChannel.
+type LRUStateChannel struct {
+	Config    machine.Config
+	WorldSeed uint64
+	// Period is the slot length in cycles; 0 selects the default. A slot
+	// must fit the spy's two scrub+prime passes (≈60 conflicting loads)
+	// in its first half.
+	Period sim.Cycles
+}
+
+// DefaultLRUStatePeriod fits the spy's prime (two scrub passes + two
+// passes over the 16-way conflict set) in the first half of the slot
+// with margin under the default latency model.
+const DefaultLRUStatePeriod = sim.Cycles(32768)
+
+// scrubLines is the number of same-L2-set lines used to purge the
+// monitored lines from a core's private caches between passes; > the
+// 8-way private associativity so one pass suffices under LRU.
+const scrubLines = 12
+
+// collectConflicts allocates pages in proc until n private lines mapping
+// to the same LLC set as targetPA are found (excluding targetPA's own
+// line). Same ground-truth construction as BuildSpyEvictionSet: the
+// simulator exposes its frame layout where real attackers use
+// timing-based group testing. Returns each line's VA and PA.
+func collectConflicts(proc *kernel.Process, llc *cache.Cache, targetPA uint64, n int) (vas, pas []uint64, err error) {
+	target := llc.SetIndexOf(targetPA)
+	for tries := 0; len(vas) < n && tries < 1_000_000; tries++ {
+		va, err := proc.Mmap(1)
+		if err != nil {
+			return nil, nil, err
+		}
+		base, err := proc.Translate(va)
+		if err != nil {
+			return nil, nil, err
+		}
+		for off := uint64(0); off < kernel.PageSize && len(vas) < n; off += cache.LineSize {
+			pa := base + off
+			if llc.SetIndexOf(pa) == target && cache.LineAddr(pa) != cache.LineAddr(targetPA) {
+				vas = append(vas, va+off)
+				pas = append(pas, pa)
+			}
+		}
+	}
+	if len(vas) < n {
+		return nil, nil, fmt.Errorf("covert: found only %d/%d LLC conflict lines", len(vas), n)
+	}
+	return vas, pas, nil
+}
+
+// collectScrub allocates private lines that share targetPA's L1/L2 set
+// but *not* its LLC set: loading them evicts the monitored lines from
+// the core's private caches (so the next touch is visible to the LLC)
+// without disturbing the monitored LLC set's replacement metadata. The
+// default geometry guarantees such lines exist: the L2 set count (512)
+// divides the LLC set count (12288), so same-L2-set lines recur every
+// 512 lines while only every 24th of those shares the LLC set.
+func collectScrub(proc *kernel.Process, l2, llc *cache.Cache, targetPA uint64, n int) ([]uint64, error) {
+	l2target := l2.SetIndexOf(targetPA)
+	llctarget := llc.SetIndexOf(targetPA)
+	var out []uint64
+	for tries := 0; len(out) < n && tries < 1_000_000; tries++ {
+		va, err := proc.Mmap(1)
+		if err != nil {
+			return nil, err
+		}
+		base, err := proc.Translate(va)
+		if err != nil {
+			return nil, err
+		}
+		for off := uint64(0); off < kernel.PageSize && len(out) < n; off += cache.LineSize {
+			pa := base + off
+			if l2.SetIndexOf(pa) == l2target && llc.SetIndexOf(pa) != llctarget {
+				out = append(out, va+off)
+			}
+		}
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("covert: found only %d/%d scrub lines", len(out), n)
+	}
+	return out, nil
+}
+
+// Run transmits bits and returns the decoded result.
+func (c LRUStateChannel) Run(bits []byte) (*SlotResult, error) {
+	cfg := c.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CoresPerSocket < 2 {
+		return nil, fmt.Errorf("covert: lrustate needs >= 2 cores per socket")
+	}
+	if !cfg.InclusiveLLC {
+		return nil, fmt.Errorf("covert: lrustate requires an inclusive LLC (fills must touch LLC metadata)")
+	}
+	period := c.Period
+	if period == 0 {
+		period = DefaultLRUStatePeriod
+	}
+	w := sim.NewWorld(sim.Config{Seed: c.WorldSeed})
+	m := machine.New(w, cfg)
+	k := kernel.New(m, 0)
+	trojanProc := k.NewProcess("trojan")
+	spyProc := k.NewProcess("spy")
+	vas, err := k.MapSharedReadOnly(trojanProc, spyProc)
+	if err != nil {
+		return nil, err
+	}
+	trojanVA, spyVA := vas[0], vas[1]
+	sharedPA, err := spyProc.Translate(spyVA)
+	if err != nil {
+		return nil, err
+	}
+
+	const spyCore, trojanCore = 0, 1
+	llc := m.Socket(m.Core(spyCore).Socket).LLC
+	ways := llc.Geometry().Ways
+	if ways < 2 {
+		return nil, fmt.Errorf("covert: lrustate needs an associative LLC")
+	}
+	// ways-1 prime lines (set = {B, C1..C15}) plus one forcing line F.
+	confVAs, confPAs, err := collectConflicts(spyProc, llc, sharedPA, ways)
+	if err != nil {
+		return nil, err
+	}
+	primeVAs, primePAs := confVAs[:ways-1], confPAs[:ways-1]
+	forceVA := confVAs[ways-1]
+	spyScrub, err := collectScrub(spyProc, m.Core(spyCore).L2, llc, sharedPA, scrubLines)
+	if err != nil {
+		return nil, err
+	}
+	trojanScrub, err := collectScrub(trojanProc, m.Core(trojanCore).L2, llc, sharedPA, scrubLines)
+	if err != nil {
+		return nil, err
+	}
+
+	lat := cfg.Latencies
+	// Reload bands: B surviving in the LLC costs at most the local
+	// forward path; B evicted costs the DRAM path. Split between them.
+	llcBound := lat.MissBase + 2*lat.Ring + lat.LLCService + lat.ForwardLocal
+	threshold := llcBound + lat.DRAMService/2
+
+	res := &SlotResult{TxBits: bits}
+
+	k.Spawn(trojanProc, trojanCore, "lru-trojan", func(kt *kernel.Thread) {
+		start := kt.Now()
+		for i, b := range bits {
+			// Mid-slot, after the spy's prime: scrub B from the private
+			// caches so the encode touch is a private miss that reaches
+			// the LLC's replacement metadata (an LLC *hit* — the touch
+			// changes recency only, never presence).
+			advanceTo(kt, start+sim.Cycles(i)*period+period*55/100)
+			for _, a := range trojanScrub {
+				kt.Load(a)
+			}
+			if b == 1 {
+				kt.Load(trojanVA)
+			}
+		}
+	})
+	k.Spawn(spyProc, spyCore, "lru-spy", func(kt *kernel.Thread) {
+		start := kt.Now()
+		prime := make([]int, ways-1) // C indices in touch order
+		for i := range bits {
+			advanceTo(kt, start+sim.Cycles(i)*period)
+			// Pass 1: ensure residency. Scrub privates, then walk the
+			// full set so every line is in the LLC.
+			for _, a := range spyScrub {
+				kt.Load(a)
+			}
+			kt.Load(spyVA)
+			for _, a := range primeVAs {
+				kt.Load(a)
+			}
+			// Pass 2: the priming walk. Scrub again so each touch below
+			// is a private miss (visible to the LLC), then touch B first
+			// and the conflict lines in ascending way-XOR distance from
+			// B — under tree-PLRU the last toucher through every node on
+			// B's tree path then lies in the opposite subtree, parking
+			// the victim pointer exactly on B; under true LRU any order
+			// with B first works and this one does too.
+			for _, a := range spyScrub {
+				kt.Load(a)
+			}
+			wayB, okB := llc.WayOf(sharedPA)
+			for j := range prime {
+				prime[j] = j
+			}
+			if okB {
+				sort.SliceStable(prime, func(a, b int) bool {
+					wa, oka := llc.WayOf(primePAs[prime[a]])
+					wb, okb := llc.WayOf(primePAs[prime[b]])
+					if !oka || !okb {
+						return oka && !okb // resident lines first
+					}
+					return wa^wayB < wb^wayB
+				})
+			}
+			kt.Load(spyVA)
+			for _, j := range prime {
+				kt.Load(primeVAs[j])
+			}
+			// Trojan's window is 55%..85% of the slot.
+			advanceTo(kt, start+sim.Cycles(i)*period+period*85/100)
+			// Force exactly one replacement decision, then time B.
+			kt.Load(forceVA)
+			a := kt.Load(spyVA)
+			bit := byte(0)
+			if a.Latency < threshold {
+				bit = 1 // fast reload: B survived, so the trojan touched it
+			}
+			res.RxBits = append(res.RxBits, bit)
+			res.Samples = append(res.Samples, SlotSample{Slot: i, Latency: a.Latency, Bit: bit})
+			// Remove F so the next slot's set again holds only B + Cs.
+			kt.Flush(forceVA)
+		}
+	})
+	if err := w.Run(); err != nil {
+		return nil, err
+	}
+	res.Accuracy = slotAccuracy(res.TxBits, res.RxBits)
+	res.RawKbps = cfg.ClockHz / float64(period) / 1e3
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"coherentleak/internal/cache"
+	"coherentleak/internal/covert"
+	"coherentleak/internal/harness"
+	"coherentleak/internal/machine"
+
+	"fmt"
+)
+
+// This file registers the two metadata leakage channels from the
+// follow-on papers as artifacts: lrustate (replacement-metadata channel,
+// Xiong & Szefer) and dirtystate (writeback-latency channel, Cui et
+// al.). Both run once per registered replacement policy, because the
+// policy is the experiment: lrustate lives or dies by how the policy
+// maps touches to victim choice, while dirtystate is policy-blind — the
+// flat accuracy row is the control that shows the leak rides on the
+// line's dirty bit, not on replacement state.
+
+// LRUStateTrace runs the replacement-metadata channel under the given
+// policy and returns the slot trace.
+func LRUStateTrace(base machine.Config, policy string, payloadBits int, seed uint64) (*covert.SlotResult, error) {
+	cfg := base
+	cfg.Replacement = policy
+	ch := covert.LRUStateChannel{Config: cfg, WorldSeed: seed + 31}
+	return ch.Run(PatternBits(seed^0xFACE, payloadBits))
+}
+
+// DirtyStateTrace runs the dirty-state channel under the given policy
+// and returns the slot trace.
+func DirtyStateTrace(base machine.Config, policy string, payloadBits int, seed uint64) (*covert.SlotResult, error) {
+	cfg := base
+	cfg.Replacement = policy
+	ch := covert.DirtyStateChannel{Config: cfg, WorldSeed: seed + 31}
+	return ch.Run(PatternBits(seed^0xFACE, payloadBits))
+}
+
+// slotCells builds one cell per registered replacement policy for a
+// slotted metadata channel.
+func slotCells(p harness.Plan, run func(policy string, payloadBits int, seed uint64) (*covert.SlotResult, error), label string) []harness.Cell {
+	pols := cache.Policies()
+	cells := make([]harness.Cell, 0, len(pols))
+	for i, info := range pols {
+		i, name := i, info.Name
+		cells = append(cells, harness.Cell{
+			Name: name,
+			Run: func() (harness.CellOutput, error) {
+				res, err := run(name, p.Size(120, 40), p.Seed+uint64(i)*29)
+				if err != nil {
+					return harness.CellOutput{}, err
+				}
+				var out harness.CellOutput
+				for _, s := range res.Samples {
+					out.Rows = append(out.Rows, fmt.Sprintf("%s\t%d\t%d\t%d\t%d",
+						name, s.Slot, res.TxBits[s.Slot], s.Bit, s.Latency))
+				}
+				out.Summary = append(out.Summary, fmt.Sprintf(
+					"%s %-9s accuracy=%.1f%% rate=%.0f Kbps",
+					label, name, res.Accuracy*100, res.RawKbps))
+				return out, nil
+			},
+		})
+	}
+	return cells
+}
+
+func lrustateArtifact() *harness.Artifact {
+	return &harness.Artifact{
+		Name:        "lrustate",
+		Description: "LRU-state channel: bits through LLC replacement metadata only, per replacement policy",
+		File:        "lrustate.tsv",
+		Header:      "policy\tslot\ttx_bit\trx_bit\tlatency_cycles",
+		Cells: func(p harness.Plan) ([]harness.Cell, error) {
+			return slotCells(p, func(policy string, bits int, seed uint64) (*covert.SlotResult, error) {
+				return LRUStateTrace(p.Cfg, policy, bits, seed)
+			}, "lrustate"), nil
+		},
+	}
+}
+
+func dirtystateArtifact() *harness.Artifact {
+	return &harness.Artifact{
+		Name:        "dirtystate",
+		Description: "dirty-state channel: M-vs-clean decoded from flush/writeback latency, per replacement policy",
+		File:        "dirtystate.tsv",
+		Header:      "policy\tslot\ttx_bit\trx_bit\tflush_latency_cycles",
+		Cells: func(p harness.Plan) ([]harness.Cell, error) {
+			return slotCells(p, func(policy string, bits int, seed uint64) (*covert.SlotResult, error) {
+				return DirtyStateTrace(p.Cfg, policy, bits, seed)
+			}, "dirtystate"), nil
+		},
+	}
+}

@@ -4,18 +4,20 @@ import (
 	"fmt"
 	"strings"
 
+	"coherentleak/internal/cache"
 	"coherentleak/internal/capacity"
 	"coherentleak/internal/coherence"
 	"coherentleak/internal/covert"
 	"coherentleak/internal/machine"
 )
 
-// MatrixPoint is one (protocol, channel) cell of the protocol × channel
-// survival matrix: the channel's measured operating point under that
-// protocol, or — for dead cells — the reason the channel could not be
-// established.
+// MatrixPoint is one (protocol, policy, channel) cell of the survival
+// matrix: the channel's measured operating point under that protocol and
+// replacement policy, or — for dead cells — the reason the channel could
+// not be established.
 type MatrixPoint struct {
 	Protocol string
+	Policy   string
 	Channel  string
 	RawKbps  float64
 	Accuracy float64
@@ -39,6 +41,13 @@ const matrixSurvival = 0.9
 // latency bands at once.
 func MatrixChannels() []string { return []string{"binary-state", "binary-socket", "multibit"} }
 
+// MatrixMetadataChannels lists the metadata channels the matrix probes
+// additionally, once per registered replacement policy: lrustate leaks
+// through replacement metadata (so its survival is a property of the
+// policy), dirtystate through the dirty bit (so its survival is a
+// property of the protocol — it dies only without a dirty state).
+func MatrixMetadataChannels() []string { return []string{"lrustate", "dirtystate"} }
+
 // MatrixCell measures one (protocol, channel) pair of the matrix.
 // Channel establishment failures — calibration unable to find distinct
 // latency bands, which is exactly what a leak-free protocol like WT-NA
@@ -49,9 +58,13 @@ func MatrixCell(base machine.Config, proto coherence.Protocol, channel string, p
 	if err != nil {
 		return MatrixPoint{}, err
 	}
+	pol, err := cache.PolicyFor(base.Replacement)
+	if err != nil {
+		return MatrixPoint{}, err
+	}
 	cfg := base
 	cfg.Protocol = coherence.Protocol(spec.Name())
-	pt := MatrixPoint{Protocol: spec.Name(), Channel: channel, Note: "-"}
+	pt := MatrixPoint{Protocol: spec.Name(), Policy: pol.String(), Channel: channel, Note: "-"}
 	dead := func(err error) MatrixPoint {
 		pt.Note = strings.NewReplacer("\t", " ", "\n", " ").Replace(err.Error())
 		return pt
@@ -89,6 +102,20 @@ func MatrixCell(base machine.Config, proto coherence.Protocol, channel string, p
 		}
 		rep := capacity.Analyze(res.TxBits, res.RxBits, res.RawKbps)
 		pt.RawKbps, pt.Accuracy, pt.InfoKbps = res.RawKbps, res.Accuracy, rep.InfoKbps
+	case "lrustate":
+		res, err := covert.LRUStateChannel{Config: cfg, WorldSeed: seed + 31}.Run(PatternBits(seed^0xFACE, payloadBits))
+		if err != nil {
+			return dead(err), nil
+		}
+		rep := capacity.Analyze(res.TxBits, res.RxBits, res.RawKbps)
+		pt.RawKbps, pt.Accuracy, pt.InfoKbps = res.RawKbps, res.Accuracy, rep.InfoKbps
+	case "dirtystate":
+		res, err := covert.DirtyStateChannel{Config: cfg, WorldSeed: seed + 31}.Run(PatternBits(seed^0xFACE, payloadBits))
+		if err != nil {
+			return dead(err), nil
+		}
+		rep := capacity.Analyze(res.TxBits, res.RxBits, res.RawKbps)
+		pt.RawKbps, pt.Accuracy, pt.InfoKbps = res.RawKbps, res.Accuracy, rep.InfoKbps
 	default:
 		return MatrixPoint{}, fmt.Errorf("protomatrix: unknown channel %q", channel)
 	}
@@ -96,16 +123,34 @@ func MatrixCell(base machine.Config, proto coherence.Protocol, channel string, p
 	return pt, nil
 }
 
-// MatrixRow measures every channel for one protocol.
+// MatrixRow measures every channel for one protocol: the three classic
+// channels under the plan's base replacement policy (seed derivations
+// unchanged from the original protocol × channel matrix, so those
+// numbers are stable), then the metadata channels once per registered
+// replacement policy, making the row a policy × channel surface.
 func MatrixRow(base machine.Config, proto coherence.Protocol, protoIndex, payloadBits int, seed uint64) ([]MatrixPoint, error) {
 	channels := MatrixChannels()
-	out := make([]MatrixPoint, 0, len(channels))
+	meta := MatrixMetadataChannels()
+	pols := cache.Policies()
+	out := make([]MatrixPoint, 0, len(channels)+len(meta)*len(pols))
 	for j, chn := range channels {
 		pt, err := MatrixCell(base, proto, chn, payloadBits, seed+uint64(protoIndex)*101+uint64(j)*7)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, pt)
+	}
+	for j, chn := range meta {
+		for q, info := range pols {
+			cfg := base
+			cfg.Replacement = info.Name
+			cellSeed := seed + uint64(protoIndex)*101 + uint64(len(channels)+j)*7 + uint64(q)*1009
+			pt, err := MatrixCell(cfg, proto, chn, payloadBits, cellSeed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pt)
+		}
 	}
 	return out, nil
 }

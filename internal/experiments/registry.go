@@ -31,6 +31,8 @@ func Artifacts() *harness.Registry {
 		mitigationsArtifact(),
 		capacityArtifact(),
 		protomatrixArtifact(),
+		lrustateArtifact(),
+		dirtystateArtifact(),
 	} {
 		reg.MustRegister(a)
 	}
@@ -313,9 +315,9 @@ func mitigationsArtifact() *harness.Artifact {
 func protomatrixArtifact() *harness.Artifact {
 	return &harness.Artifact{
 		Name:        "protomatrix",
-		Description: "protocol x channel survival matrix over every registered coherence protocol",
+		Description: "protocol x policy x channel survival matrix over every registered coherence protocol and replacement policy",
 		File:        "protocol_matrix.tsv",
-		Header:      "protocol\tchannel\traw_kbps\taccuracy\tinfo_kbps\tsurvives\tnote",
+		Header:      "protocol\tpolicy\tchannel\traw_kbps\taccuracy\tinfo_kbps\tsurvives\tnote",
 		Cells: func(p harness.Plan) ([]harness.Cell, error) {
 			protos := coherence.Protocols()
 			cells := make([]harness.Cell, 0, len(protos))
@@ -330,11 +332,11 @@ func protomatrixArtifact() *harness.Artifact {
 						}
 						var out harness.CellOutput
 						for _, pt := range pts {
-							out.Rows = append(out.Rows, fmt.Sprintf("%s\t%s\t%.1f\t%.4f\t%.1f\t%v\t%s",
-								pt.Protocol, pt.Channel, pt.RawKbps, pt.Accuracy, pt.InfoKbps, pt.Survives, pt.Note))
+							out.Rows = append(out.Rows, fmt.Sprintf("%s\t%s\t%s\t%.1f\t%.4f\t%.1f\t%v\t%s",
+								pt.Protocol, pt.Policy, pt.Channel, pt.RawKbps, pt.Accuracy, pt.InfoKbps, pt.Survives, pt.Note))
 							out.Summary = append(out.Summary, fmt.Sprintf(
-								"protomatrix %-7s %-8s survives=%-5v acc=%.0f%% info=%.0f Kbps",
-								pt.Protocol, pt.Channel, pt.Survives, pt.Accuracy*100, pt.InfoKbps))
+								"protomatrix %-7s %-9s %-10s survives=%-5v acc=%.0f%% info=%.0f Kbps",
+								pt.Protocol, pt.Policy, pt.Channel, pt.Survives, pt.Accuracy*100, pt.InfoKbps))
 						}
 						return out, nil
 					},

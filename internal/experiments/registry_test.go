@@ -19,7 +19,7 @@ func registryPlan(sizing harness.Sizing) harness.Plan {
 // TestArtifactsRegistryComplete pins the registered artifact set — the
 // CLI's -only vocabulary and the benchmark sub-test names.
 func TestArtifactsRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "peaks", "mitigations", "capacity", "protomatrix"}
+	want := []string{"table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "peaks", "mitigations", "capacity", "protomatrix", "lrustate", "dirtystate"}
 	got := Artifacts().Names()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("registry = %v, want %v", got, want)

@@ -66,10 +66,17 @@ type Trace struct {
 	// path selection).
 	Prefetch bool
 	Notify   bool
-	Procs    int
-	Private  int // private pages per process
-	Shared   int // read-only pages shared by all processes
-	Threads  []ThreadTrace
+	// Replacement selects the cache replacement policy by registry name
+	// (empty = LRU). Both kernels run under the same policy; the
+	// compiled kernel's service-path memo is policy-independent (victim
+	// selection happens inside cache.Insert, shared by both paths), and
+	// the corpus over every protocol × policy combination is what proves
+	// that claim holds.
+	Replacement string
+	Procs       int
+	Private     int // private pages per process
+	Shared      int // read-only pages shared by all processes
+	Threads     []ThreadTrace
 }
 
 // ops returns the total access-op count (Grow excluded).
@@ -186,6 +193,7 @@ func Run(tr Trace, kernelMode string) Result {
 	cfg.Protocol = tr.Protocol
 	cfg.NextLinePrefetch = tr.Prefetch
 	cfg.Mitigations.LLCNotifiedOfEToM = tr.Notify
+	cfg.Replacement = tr.Replacement
 	cfg.Kernel = kernelMode
 	if err := cfg.Validate(); err != nil {
 		panic(err)

@@ -3,36 +3,47 @@ package difftest
 import (
 	"testing"
 
+	"coherentleak/internal/cache"
 	"coherentleak/internal/coherence"
 	"coherentleak/internal/kernel"
 	"coherentleak/internal/machine"
 	"coherentleak/internal/sim"
 )
 
-// corpusPerProtocol gives 500 deterministic cases across the 5 builtin
-// protocols in a normal `go test` run.
-const corpusPerProtocol = 100
+// corpusPerCombo gives 500 deterministic cases across the 5 builtin
+// protocols × 4 registered replacement policies in a normal `go test`
+// run (25 per combination).
+const corpusPerCombo = 25
 
 // TestDifferentialCorpus executes the deterministic corpus: for every
-// builtin protocol, 100 seeded random traces compared between the
-// interpreted and compiled kernels. Protocol groups run in parallel so
-// `go test -race` also exercises concurrent worlds.
+// builtin protocol × registered replacement policy, 25 seeded random
+// traces compared between the interpreted and compiled kernels.
+// Protocol groups run in parallel so `go test -race` also exercises
+// concurrent worlds.
 func TestDifferentialCorpus(t *testing.T) {
 	protos := coherence.Protocols()
 	if len(protos) != 5 {
 		t.Fatalf("builtin protocol count = %d, want 5 (corpus contract)", len(protos))
 	}
+	pols := cache.PolicyNames()
+	if len(pols) != 4 {
+		t.Fatalf("builtin policy count = %d, want 4 (corpus contract)", len(pols))
+	}
 	for pi, proto := range protos {
 		pi, proto := pi, proto
 		t.Run(string(proto), func(t *testing.T) {
 			t.Parallel()
-			for i := 0; i < corpusPerProtocol; i++ {
-				seed := uint64(pi*corpusPerProtocol+i)*0x9E3779B9 + 1
-				tr := Generate(seed, proto)
-				if mm := Compare(tr); mm != nil {
-					small := Shrink(tr)
-					t.Fatalf("seed %#x case %d: %v\nshrunk repro: seed=%#x threads=%d ops=%d\n%+v",
-						seed, i, mm, small.Seed, len(small.Threads), small.ops(), small)
+			for qi, pol := range pols {
+				for i := 0; i < corpusPerCombo; i++ {
+					c := (pi*len(pols)+qi)*corpusPerCombo + i
+					seed := uint64(c)*0x9E3779B9 + 1
+					tr := Generate(seed, proto)
+					tr.Replacement = pol
+					if mm := Compare(tr); mm != nil {
+						small := Shrink(tr)
+						t.Fatalf("seed %#x policy %s case %d: %v\nshrunk repro: seed=%#x threads=%d ops=%d\n%+v",
+							seed, pol, i, mm, small.Seed, len(small.Threads), small.ops(), small)
+					}
 				}
 			}
 		})
@@ -119,20 +130,32 @@ func TestShrinkPreservesPassing(t *testing.T) {
 }
 
 // FuzzDifferential is the randomized entry point: `go test -fuzz
-// FuzzDifferential ./internal/kernel/difftest` explores seeds and
-// protocol choices beyond the deterministic corpus.
+// FuzzDifferential ./internal/kernel/difftest` explores seeds, protocol
+// and replacement-policy choices beyond the deterministic corpus.
 func FuzzDifferential(f *testing.F) {
-	f.Add(uint64(1), uint8(0))
-	f.Add(uint64(12345), uint8(1))
-	f.Add(uint64(0xdeadbeef), uint8(2))
-	f.Add(uint64(0x9E3779B97F4A7C15), uint8(3))
-	f.Add(uint64(271828), uint8(4))
-	f.Fuzz(func(t *testing.T, seed uint64, proto uint8) {
+	f.Add(uint64(1), uint8(0), uint8(0))
+	f.Add(uint64(12345), uint8(1), uint8(0))
+	f.Add(uint64(0xdeadbeef), uint8(2), uint8(1))
+	f.Add(uint64(0x9E3779B97F4A7C15), uint8(3), uint8(0))
+	f.Add(uint64(271828), uint8(4), uint8(1))
+	// RRIP insertion-age seeds: dense conflict traces under SRRIP age
+	// whole sets to "distant" before victimizing, and under BRRIP cross
+	// the 32-fill bimodal boundary repeatedly, so the aging loop, the
+	// insertion trickle and the compiled kernel's memo are all exercised
+	// against the interpreter.
+	f.Add(uint64(0xA11C0DE), uint8(0), uint8(2))
+	f.Add(uint64(0x5EED5EED5EED), uint8(1), uint8(2))
+	f.Add(uint64(0xB1B0DA1), uint8(0), uint8(3))
+	f.Add(uint64(0xFEEDFACECAFE), uint8(4), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, proto uint8, pol uint8) {
 		protos := coherence.Protocols()
+		pols := cache.PolicyNames()
 		tr := Generate(seed, protos[int(proto)%len(protos)])
+		tr.Replacement = pols[int(pol)%len(pols)]
 		if mm := Compare(tr); mm != nil {
 			small := Shrink(tr)
-			t.Fatalf("seed %#x proto %s: %v\nshrunk repro: %+v", seed, tr.Protocol, mm, small)
+			t.Fatalf("seed %#x proto %s policy %s: %v\nshrunk repro: %+v",
+				seed, tr.Protocol, tr.Replacement, mm, small)
 		}
 	})
 }

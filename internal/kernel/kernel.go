@@ -291,6 +291,34 @@ func (k *Kernel) MapSharedReadOnly(procs ...*Process) ([]uint64, error) {
 	return vas, nil
 }
 
+// MapSharedWritable maps one fresh physical page writable into every
+// process in procs, returning each process's virtual address for it. It
+// models the shm/MAP_SHARED sharing path: stores hit the common frame
+// directly (no copy-on-write break), so a writer's cache line turns
+// Modified while every mapper still names the same physical line — the
+// precondition for the dirty-state (writeback-latency) channel.
+func (k *Kernel) MapSharedWritable(procs ...*Process) ([]uint64, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("kernel: shared mapping needs at least one process")
+	}
+	frame, err := k.mem.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	vas := make([]uint64, len(procs))
+	for i, p := range procs {
+		vpage := p.brk
+		p.brk++
+		if i > 0 {
+			k.mem.AddRef(frame)
+		}
+		p.pages[vpage] = &PTE{Frame: frame, Writable: true}
+		vas[i] = vpage * PageSize
+	}
+	k.mapEpoch++
+	return vas, nil
+}
+
 // SharesFrameWith reports whether two processes map the same physical
 // frame at the given virtual addresses — the attack precondition.
 func (p *Process) SharesFrameWith(va uint64, q *Process, qva uint64) bool {

@@ -145,6 +145,14 @@ type Config struct {
 	// states); the default is off, matching the paper's testbed runs,
 	// and the ablation bench measures the channel with it on.
 	NextLinePrefetch bool
+	// Replacement selects the cache replacement policy by registry name,
+	// case-insensitively, for every cache level; the empty string means
+	// LRU (the historical default). cache.Policies() lists the
+	// registered names — the built-ins are LRU, tree-PLRU, SRRIP and
+	// BRRIP. The field is digest-relevant (omitempty keeps default-LRU
+	// digests — and therefore cached cells — identical to configs that
+	// predate it).
+	Replacement string `json:",omitempty"`
 	// SnoopBus replaces the directory lookup with a broadcast bus per
 	// socket (§VIII-E's first protocol class): every off-core miss pays
 	// a bus arbitration, and one bus carries all of a socket's miss
@@ -177,6 +185,14 @@ const (
 // CompiledKernel reports whether the compiled access-stream kernel is
 // selected.
 func (c Config) CompiledKernel() bool { return c.Kernel == KernelCompiled }
+
+// ReplacementPolicy resolves the configured replacement policy name.
+// Unknown names resolve to LRU here; Validate rejects them before any
+// machine is built.
+func (c Config) ReplacementPolicy() cache.Policy {
+	p, _ := cache.PolicyFor(c.Replacement)
+	return p
+}
 
 // DefaultConfig returns the paper's testbed: a 2-socket, 6-core-per-socket
 // Xeon X5650 with 32 KB L1, 256 KB L2, 12 MB inclusive LLC, MESIF, 2.67 GHz.
@@ -229,6 +245,18 @@ func (c Config) Validate() error {
 	}
 	if c.InclusiveLLC && c.ExclusiveLLC {
 		return fmt.Errorf("machine: LLC cannot be both inclusive and exclusive")
+	}
+	pol, err := cache.PolicyFor(c.Replacement)
+	if err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	for _, g := range []struct {
+		name string
+		geo  cache.Geometry
+	}{{"L1", c.L1}, {"L2", c.L2}, {"LLC", c.LLC}} {
+		if err := pol.CheckGeometry(g.geo); err != nil {
+			return fmt.Errorf("machine: %s: %w", g.name, err)
+		}
 	}
 	switch c.Kernel {
 	case "", KernelInterp, KernelCompiled:

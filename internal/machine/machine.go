@@ -306,6 +306,7 @@ func New(world *sim.World, cfg Config) *Machine {
 	}
 	m.InvalidateMemo()
 	lat := cfg.Latencies
+	pol := cfg.ReplacementPolicy()
 	for s := 0; s < cfg.Sockets; s++ {
 		// In snoop-bus mode one broadcast bus replaces the ring: same
 		// base latency, but every snooping cache occupies it, so its
@@ -316,7 +317,7 @@ func New(world *sim.World, cfg Config) *Machine {
 		}
 		sock := &Socket{
 			ID:   s,
-			LLC:  cache.MustNew(cfg.LLC, nil),
+			LLC:  cache.MustNew(cfg.LLC, pol),
 			Dir:  coherence.NewDirectory(cfg.CoresPerSocket),
 			Ring: interconnect.NewLink(linkName, lat.Ring, service, rng.Split()),
 		}
@@ -325,8 +326,8 @@ func New(world *sim.World, cfg Config) *Machine {
 				Global: s*cfg.CoresPerSocket + c,
 				Socket: s,
 				Local:  c,
-				L1:     cache.MustNew(cfg.L1, nil),
-				L2:     cache.MustNew(cfg.L2, nil),
+				L1:     cache.MustNew(cfg.L1, pol),
+				L2:     cache.MustNew(cfg.L2, pol),
 			}
 			sock.Cores = append(sock.Cores, core)
 			m.cores = append(m.cores, core)

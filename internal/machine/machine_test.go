@@ -3,6 +3,7 @@ package machine
 import (
 	"testing"
 
+	"coherentleak/internal/cache"
 	"coherentleak/internal/coherence"
 	"coherentleak/internal/sim"
 )
@@ -45,6 +46,41 @@ func TestConfigValidate(t *testing.T) {
 	bad.L1.Ways = 0
 	if bad.Validate() == nil {
 		t.Error("bad L1 accepted")
+	}
+	bad = DefaultConfig()
+	bad.Replacement = "clock"
+	if bad.Validate() == nil {
+		t.Error("unknown replacement policy accepted")
+	}
+	for _, name := range cache.PolicyNames() {
+		good := DefaultConfig()
+		good.Replacement = name
+		if err := good.Validate(); err != nil {
+			t.Errorf("replacement %q rejected: %v", name, err)
+		}
+	}
+	// Tree-PLRU needs power-of-two associativity at every level.
+	bad = DefaultConfig()
+	bad.Replacement = "tree-plru"
+	bad.LLC = cache.Geometry{SizeBytes: 12 * 64, Ways: 12}
+	if bad.Validate() == nil {
+		t.Error("tree-PLRU with 12-way LLC accepted")
+	}
+}
+
+// TestReplacementPolicyThreadedToCaches pins machine.New wiring: the
+// configured policy reaches every cache level.
+func TestReplacementPolicyThreadedToCaches(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replacement = "srrip"
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	m := New(w, cfg)
+	if got := m.Socket(0).LLC.Policy(); got != cache.PolicySRRIP {
+		t.Fatalf("LLC policy = %v", got)
+	}
+	c := m.Core(0)
+	if c.L1.Policy() != cache.PolicySRRIP || c.L2.Policy() != cache.PolicySRRIP {
+		t.Fatalf("private cache policies = %v / %v", c.L1.Policy(), c.L2.Policy())
 	}
 }
 

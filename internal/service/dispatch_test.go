@@ -410,20 +410,32 @@ func TestFleetRunsProtocolMatrix(t *testing.T) {
 	if want := rep.Results[0].TSV(); !bytes.Equal(tsv, want) {
 		t.Fatalf("fleet matrix TSV differs from serial run:\n got: %q\nwant: %q", tsv, want)
 	}
-	// The matrix's headline: the state channel survives every protocol
-	// with silent upgrades and dies under WT-NA.
+	// The matrix's headlines: the state channel survives every protocol
+	// with silent upgrades and dies under WT-NA; the lrustate metadata
+	// channel survives recency policies and dies under RRIP regardless of
+	// protocol; dirtystate survives every policy but dies without a dirty
+	// state (WT-NA).
 	body := string(tsv)
-	if !strings.Contains(body, "WT-NA\tbinary-state") || !strings.Contains(body, "MESIF\tbinary-state") {
+	if !strings.Contains(body, "WT-NA\tLRU\tbinary-state") || !strings.Contains(body, "MESIF\tLRU\tbinary-state") {
 		t.Fatalf("matrix missing expected rows:\n%s", body)
 	}
 	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
 		f := strings.Split(line, "\t")
-		if len(f) < 7 || f[0] == "protocol" {
+		if len(f) < 8 || f[0] == "protocol" {
 			continue
 		}
-		wantSurvive := !(f[0] == "WT-NA" && (f[1] == "binary-state" || f[1] == "multibit"))
-		if got := f[5] == "true"; got != wantSurvive {
-			t.Errorf("%s/%s survives=%v, want %v", f[0], f[1], got, wantSurvive)
+		proto, pol, chn := f[0], f[1], f[2]
+		var wantSurvive bool
+		switch chn {
+		case "lrustate":
+			wantSurvive = pol == "LRU" || pol == "tree-PLRU"
+		case "dirtystate":
+			wantSurvive = proto != "WT-NA"
+		default:
+			wantSurvive = !(proto == "WT-NA" && (chn == "binary-state" || chn == "multibit"))
+		}
+		if got := f[6] == "true"; got != wantSurvive {
+			t.Errorf("%s/%s/%s survives=%v, want %v", proto, pol, chn, got, wantSurvive)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"coherentleak/internal/cache"
 	"coherentleak/internal/coherence"
 	"coherentleak/internal/harness"
 	"coherentleak/internal/replay"
@@ -25,6 +26,7 @@ import (
 //	GET    /metrics                            Prometheus text exposition
 //	GET    /v1/artifacts                       registry listing with cell counts
 //	GET    /v1/protocols                       registered coherence protocols
+//	GET    /v1/replacements                    registered replacement policies
 //	POST   /v1/jobs                            submit a job (202; 429 when full)
 //	GET    /v1/jobs                            list jobs in submission order
 //	GET    /v1/jobs/{id}                       one job's state and result links
@@ -55,6 +57,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/artifacts", s.handleArtifacts)
 	mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
+	mux.HandleFunc("GET /v1/replacements", s.handleReplacements)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -107,7 +110,7 @@ func (s *Service) withAuth(next http.Handler) http.Handler {
 // tenants).
 func authExempt(path string) bool {
 	switch path {
-	case "/healthz", "/metrics", "/v1/version", "/v1/artifacts", "/v1/protocols":
+	case "/healthz", "/metrics", "/v1/version", "/v1/artifacts", "/v1/protocols", "/v1/replacements":
 		return true
 	}
 	return strings.HasPrefix(path, "/v1/workers")
@@ -231,6 +234,30 @@ type protocolInfo struct {
 	// Default marks the protocol jobs get when their config override
 	// names none.
 	Default bool `json:"default"`
+}
+
+// replacementInfo is one row of GET /v1/replacements.
+type replacementInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Default marks the policy jobs get when their config override
+	// names none.
+	Default bool `json:"default"`
+}
+
+// handleReplacements lists the registered cache replacement policies —
+// the names a job's config override may set as "Replacement".
+func (s *Service) handleReplacements(w http.ResponseWriter, r *http.Request) {
+	def := s.opts.BaseConfig.ReplacementPolicy()
+	var out []replacementInfo
+	for _, info := range cache.Policies() {
+		out = append(out, replacementInfo{
+			Name:        info.Name,
+			Description: info.Description,
+			Default:     info.Policy == def,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"replacements": out})
 }
 
 // handleProtocols lists the registered coherence protocols — the names a

@@ -1,0 +1,88 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"coherentleak/internal/experiments"
+	"coherentleak/internal/harness"
+	"coherentleak/internal/machine"
+	"coherentleak/internal/service"
+)
+
+// TestReplacementSmokeGolden is the CI smoke gate for the replacement
+// layer (make replacement-smoke): the lrustate and dirtystate quick
+// artifacts run through the daemon with a worker fleet attached and a
+// tree-PLRU base-config override, must be byte-identical to a serial
+// in-process run of the same plan, and must match the checked-in golden
+// TSVs. The goldens pin the channels' survival surface: lrustate decodes
+// perfectly under LRU/tree-PLRU and collapses under SRRIP/BRRIP, while
+// dirtystate decodes perfectly under every policy. Run with
+// -update-golden to regenerate after an intentional simulator change.
+func TestReplacementSmokeGolden(t *testing.T) {
+	reg := experiments.Artifacts()
+	_, ts := newTestServer(t, service.Options{Registry: reg, DefaultSeed: experiments.DefaultSeed})
+	for i := 0; i < 2; i++ {
+		kill := attachWorker(t, ts, fmt.Sprintf("rs%d", i), reg)
+		defer kill()
+	}
+	waitWorkers(t, ts, 2)
+
+	status, job, raw := postJob(t, ts, `{
+		"artifacts": ["lrustate", "dirtystate"],
+		"sizing": "quick",
+		"config": {"Replacement": "tree-plru"}
+	}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", status, raw)
+	}
+	waitState(t, ts, job.ID, service.StateDone)
+
+	// The serial reference run of the identical plan.
+	arts, err := reg.Select([]string{"lrustate", "dirtystate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Replacement = "tree-plru"
+	r := &harness.Runner{Parallel: 1}
+	rep, err := r.Run(context.Background(), harness.Plan{
+		Cfg: cfg, Seed: experiments.DefaultSeed, Sizing: harness.SizingQuick,
+	}, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, name := range []string{"lrustate", "dirtystate"} {
+		code, tsv := fetch(t, ts, "/v1/jobs/"+job.ID+"/artifacts/"+name+".tsv")
+		if code != http.StatusOK {
+			t.Fatalf("download %s = %d", name, code)
+		}
+		if want := rep.Results[i].TSV(); !bytes.Equal(tsv, want) {
+			t.Fatalf("fleet %s TSV differs from serial run:\n got: %q\nwant: %q", name, tsv, want)
+		}
+		golden := filepath.Join("testdata", "replacement_smoke_"+name+".tsv")
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, tsv, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote %s", golden)
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (run go test -run TestReplacementSmokeGolden -update-golden): %v", err)
+		}
+		if !bytes.Equal(tsv, want) {
+			t.Errorf("%s drifted from golden %s:\ngot:\n%s\nwant:\n%s", name, golden, tsv, want)
+		}
+	}
+}

@@ -233,8 +233,8 @@ func TestArtifactListing(t *testing.T) {
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Artifacts) != 12 {
-		t.Fatalf("artifact count = %d, want 12", len(out.Artifacts))
+	if len(out.Artifacts) != 14 {
+		t.Fatalf("artifact count = %d, want 14", len(out.Artifacts))
 	}
 	byName := map[string]int{}
 	for _, a := range out.Artifacts {
@@ -582,5 +582,59 @@ func TestProtocolListingAndOverride(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(buf.String(), "MESIFY") || !strings.Contains(buf.String(), "DRAGON") {
 		t.Fatalf("unknown protocol: status %d, body %s (want 400 naming the registered protocols)", resp.StatusCode, buf.String())
+	}
+}
+
+// TestReplacementListingAndOverride mirrors the protocol test for the
+// replacement-policy registry: GET /v1/replacements names every policy,
+// a job's config override can select one, and an unknown name is a 400
+// at submission.
+func TestReplacementListingAndOverride(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{
+		Registry:    experiments.Artifacts(),
+		DefaultSeed: experiments.DefaultSeed,
+	})
+
+	code, body := fetch(t, ts, "/v1/replacements")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/replacements = %d: %s", code, body)
+	}
+	var listing struct {
+		Replacements []struct {
+			Name    string `json:"name"`
+			Default bool   `json:"default"`
+		} `json:"replacements"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, p := range listing.Replacements {
+		got[p.Name] = p.Default
+	}
+	for _, want := range []string{"LRU", "tree-PLRU", "SRRIP", "BRRIP"} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("listing missing policy %s", want)
+		}
+	}
+	if !got["LRU"] || got["SRRIP"] {
+		t.Errorf("default flag wrong: %v", got)
+	}
+
+	// A job can select any registered policy by name (case-insensitive).
+	_, job, _ := postJob(t, ts, `{"artifacts":["table1"],"sizing":"quick","config":{"Replacement":"srrip"}}`)
+	waitState(t, ts, job.ID, service.StateDone)
+
+	// Unknown policies are rejected at submission, naming the options.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"artifacts":["table1"],"config":{"Replacement":"MRU"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(buf.String(), "MRU") || !strings.Contains(buf.String(), "SRRIP") {
+		t.Fatalf("unknown policy: status %d, body %s (want 400 naming the registered policies)", resp.StatusCode, buf.String())
 	}
 }

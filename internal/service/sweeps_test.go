@@ -493,6 +493,41 @@ func TestSweepSubmitValidation(t *testing.T) {
 	}
 }
 
+// TestSweepReplacementAxis pins the replacement policy as a sweep
+// dimension: a string-valued "Replacement" axis expands into per-policy
+// points that run to completion, while an unregistered policy name is
+// rejected at submission by the dry-run (400 naming the point), not
+// mid-sweep.
+func TestSweepReplacementAxis(t *testing.T) {
+	reg := fleetRegistry(2, nil)
+	_, ts := newTestServer(t, service.Options{Registry: reg, DefaultSeed: 3, DisableDispatch: true})
+
+	code, sw, raw := submitSweep(t, ts, `{
+		"artifacts": ["grid"],
+		"axes": [{"param": "Replacement", "values": ["LRU", "tree-plru", "srrip", "brrip"]}],
+		"objective": {"artifact": "grid", "column": "value"}
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d: %s", code, raw)
+	}
+	done := waitSweep(t, ts, sw.ID, service.StateDone)
+	if done.Points.Completed != 4 {
+		t.Fatalf("points = %+v, want one completed per policy", done.Points)
+	}
+
+	code, _, raw = submitSweep(t, ts, `{
+		"artifacts": ["grid"],
+		"axes": [{"param": "Replacement", "values": ["LRU", "mru"]}],
+		"objective": {"artifact": "grid", "column": "value"}
+	}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown policy sweep = %d, want 400 (body %s)", code, raw)
+	}
+	if !strings.Contains(string(raw), "point 1") || !strings.Contains(string(raw), "replacement policy") {
+		t.Errorf("error %q should name the failing point and the policy registry", raw)
+	}
+}
+
 // TestSweepCancel pins DELETE /v1/sweeps/{id}: a running sweep moves to
 // cancelled without waiting for its in-flight point.
 func TestSweepCancel(t *testing.T) {

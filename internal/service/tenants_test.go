@@ -175,7 +175,7 @@ func TestAuthRequiredAndExemptRoutes(t *testing.T) {
 	if code, _, _ := doAs(t, ts, "wrong-key-123456", "GET", "/v1/jobs", ""); code != http.StatusUnauthorized {
 		t.Fatalf("bad-key list = %d, want 401", code)
 	}
-	for _, path := range []string{"/healthz", "/metrics", "/v1/version", "/v1/artifacts", "/v1/protocols", "/v1/workers"} {
+	for _, path := range []string{"/healthz", "/metrics", "/v1/version", "/v1/artifacts", "/v1/protocols", "/v1/replacements", "/v1/workers"} {
 		if code, body, _ := doAs(t, ts, "", "GET", path, ""); code != http.StatusOK {
 			t.Fatalf("exempt route %s = %d (%s), want 200", path, code, body)
 		}

@@ -1,11 +1,14 @@
 package sweep
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync/atomic"
@@ -465,5 +468,37 @@ func TestSeedAxisDefaultBase(t *testing.T) {
 	}
 	if pts[0].Seed != 77 {
 		t.Fatalf("spec seed not applied: %d", pts[0].Seed)
+	}
+}
+
+// TestExampleSpecsValid keeps the checked-in example specs honest: each
+// must decode strictly, validate, and expand into a non-empty grid.
+func TestExampleSpecsValid(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "sweeps", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example sweep specs found: %v", err)
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var spec Spec
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		pts, err := Expand(spec, 1)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+		} else if len(pts) == 0 {
+			t.Errorf("%s: expanded to zero points", f)
+		}
 	}
 }
